@@ -1,0 +1,62 @@
+// Shared helpers for the paper-reproduction benches: the Listing 1 / 2
+// parameter sweeps, tuned-vs-manual runners for the three convolution
+// methods, and table printing.
+//
+// Every bench runs a reduced sweep by default so the whole bench/ directory
+// completes in minutes; set SWATOP_FULL=1 for the paper-scale sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+#include "ops/conv_common.hpp"
+#include "sim/config.hpp"
+#include "tune/tuner.hpp"
+
+namespace swatop::bench {
+
+/// True when SWATOP_FULL=1: run the full paper-scale sweeps.
+bool full_scale();
+
+/// Listing 1: Ni, No in {64,128,256,384,512} with Ni >= No, Ro in
+/// {32,64,128,256}, 3x3 kernels. Reduced mode subsamples the grid.
+std::vector<ops::ConvShape> listing1_shapes(std::int64_t batch);
+
+/// Listing 2 GEMM shapes.
+struct GemmShape {
+  std::int64_t m, n, k;
+};
+std::vector<GemmShape> listing2_unaligned();
+std::vector<GemmShape> listing2_aligned();
+
+/// Tune with the model-based autotuner and measure the picked candidate on
+/// the timing interpreter; returns measured cycles (and optionally stats).
+double tuned_cycles(const dsl::OperatorDef& op, const sim::SimConfig& cfg,
+                    tune::TunerStats* stats = nullptr);
+
+/// The three convolution methods, swATOP vs the best manual version.
+/// manual_cycles < 0 means no manual implementation exists for the shape.
+struct MethodResult {
+  double swatop_cycles = 0.0;
+  double manual_cycles = -1.0;
+  double gflops = 0.0;      ///< swATOP achieved (direct-conv flops basis)
+  double efficiency = 0.0;  ///< fraction of peak
+  double speedup() const {
+    return manual_cycles > 0.0 ? manual_cycles / swatop_cycles : 0.0;
+  }
+};
+MethodResult run_implicit(const ops::ConvShape& s, const sim::SimConfig& cfg);
+MethodResult run_winograd(const ops::ConvShape& s, const sim::SimConfig& cfg);
+MethodResult run_explicit(const ops::ConvShape& s, const sim::SimConfig& cfg);
+
+/// Geometric mean of positive values (0 if empty).
+double geomean(const std::vector<double>& xs);
+
+/// Simple fixed-width table printing.
+void print_title(const std::string& title);
+void print_row(const std::vector<std::string>& cells, int width = 12);
+std::string fmt(double v, int prec = 2);
+
+}  // namespace swatop::bench

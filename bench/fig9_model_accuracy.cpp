@@ -1,0 +1,55 @@
+// Fig. 9: how much performance the performance-model-based autotuner leaves
+// on the table vs brute force, over the Listing 1 implicit-CONV sweep:
+// ratio of (measured time of the model-picked candidate) to (measured best
+// over all candidates). Paper: < 2% average loss, < 8% worst case.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ops/implicit_conv.hpp"
+
+using namespace swatop;
+
+int main() {
+  const sim::SimConfig cfg;
+  bench::print_title("Fig. 9 -- model-based pick vs brute-force best");
+
+  const std::int64_t batch = 32;
+  std::vector<double> ratios, ratios_topk;
+  bench::print_row({"Ni", "No", "Ro", "candidates", "best/picked",
+                    "best/top8"});
+  for (const auto& s : bench::listing1_shapes(batch)) {
+    if (!ops::ImplicitConvOp::applicable(s)) continue;
+    // Brute force walks every candidate through the interpreter; keep the
+    // quick sweep to the small spatial sizes.
+    if (!bench::full_scale() && s.ro() > 32) continue;
+    const ops::ImplicitConvOp op(s);
+    const tune::BlackBoxTuner bb(cfg);
+    const auto best = bb.tune(op);
+    const tune::ModelTuner mt(cfg);
+    const auto picked = mt.tune(op);
+    const double picked_measured =
+        tune::measure_candidate(op, picked.candidate, cfg);
+    const double ratio = best.best.cycles / picked_measured;  // <= 1
+    ratios.push_back(ratio);
+    // The paper's "(or top k)" refinement: measure the model's 8 best.
+    const auto top8 = mt.tune_top_k(op, 8);
+    const double ratio8 = best.best.cycles / top8.cycles;
+    ratios_topk.push_back(ratio8);
+    bench::print_row({std::to_string(s.ni), std::to_string(s.no),
+                      std::to_string(s.ro()),
+                      std::to_string(best.best.stats.valid_candidates),
+                      bench::fmt(ratio, 3), bench::fmt(ratio8, 3)});
+  }
+  const double avg = bench::geomean(ratios);
+  const double worst = *std::min_element(ratios.begin(), ratios.end());
+  std::printf("\naverage performance retained: %.1f%% (paper: > 98%%)\n",
+              avg * 100.0);
+  std::printf("worst case retained: %.1f%% (paper: > 92%%)\n",
+              worst * 100.0);
+  std::printf("with top-8 measurement: avg %.1f%%, worst %.1f%%\n",
+              bench::geomean(ratios_topk) * 100.0,
+              *std::min_element(ratios_topk.begin(), ratios_topk.end()) *
+                  100.0);
+  return 0;
+}

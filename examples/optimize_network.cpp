@@ -1,0 +1,104 @@
+// swATOP as an offline compiler for a whole network: tune every conv layer
+// of VGG16 / ResNet / YOLO with the best applicable method, report per-layer
+// and end-to-end numbers, and show the chip-level (4 core group) projection.
+//
+//   $ ./optimize_network [vgg16|resnet|yolo] [batch]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/chip_parallel.hpp"
+#include "nets/nets.hpp"
+#include "ops/explicit_conv.hpp"
+#include "ops/implicit_conv.hpp"
+#include "ops/winograd.hpp"
+#include "tune/tuner.hpp"
+
+using namespace swatop;
+
+namespace {
+
+double tuned(const dsl::OperatorDef& op, const sim::SimConfig& cfg) {
+  const tune::ModelTuner tuner(cfg);
+  const auto t = tuner.tune(op);
+  return tune::measure_candidate(op, t.candidate, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sim::SimConfig cfg;
+  const std::string net = argc > 1 ? argv[1] : "vgg16";
+  const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 32;
+
+  std::vector<nets::LayerDef> layers;
+  if (net == "vgg16")
+    layers = nets::vgg16();
+  else if (net == "resnet")
+    layers = nets::resnet();
+  else if (net == "yolo")
+    layers = nets::yolo();
+  else {
+    std::fprintf(stderr, "unknown network '%s'\n", net.c_str());
+    return 1;
+  }
+
+  std::printf("%s at batch %lld -- per-layer best method (one core group)\n",
+              net.c_str(), static_cast<long long>(batch));
+  std::printf("%-12s%-10s%-12s%-10s\n", "layer", "method", "GFLOPS",
+              "ms/layer");
+  double total_cycles = 0.0;
+  std::int64_t total_flops = 0;
+  for (const auto& l : layers) {
+    const ops::ConvShape s = nets::to_shape(l, batch);
+    double best = -1.0;
+    const char* method = "explicit";
+    {
+      const double t =
+          tuned(ops::ExplicitConvOp(s), cfg) +
+          ops::ExplicitConvOp::pre_post_cycles(s, cfg);
+      best = t;
+    }
+    if (ops::ImplicitConvOp::applicable(s)) {
+      const double t = tuned(ops::ImplicitConvOp(s), cfg);
+      if (t < best) {
+        best = t;
+        method = "implicit";
+      }
+    }
+    if (ops::WinogradPlan::applicable(s) && s.ni % 8 == 0) {
+      const ops::WinogradPlan plan(s);
+      const double t = tuned(ops::WinogradGemmOp(s), cfg) +
+                       ops::WinogradGemmOp::pre_post_cycles(plan, cfg);
+      if (t < best) {
+        best = t;
+        method = "winograd";
+      }
+    }
+    total_cycles += best;
+    total_flops += s.flops();
+    std::printf("%-12s%-10s%-12.1f%-10.3f\n", l.name.c_str(), method,
+                static_cast<double>(s.flops()) / best * cfg.clock_ghz,
+                best / cfg.clock_ghz / 1e6);
+  }
+  std::printf("\nnetwork total: %.1f GFLOPS effective, %.2f ms per batch "
+              "(one core group)\n",
+              static_cast<double>(total_flops) / total_cycles * cfg.clock_ghz,
+              total_cycles / cfg.clock_ghz / 1e6);
+
+  if (batch >= 4) {
+    std::printf("\nchip-level projection (batch split over 4 core groups), "
+                "implicit-conv layers only:\n");
+    double chip_gflops_example = 0.0;
+    for (const auto& l : layers) {
+      const ops::ConvShape s = nets::to_shape(l, batch);
+      if (!ops::ImplicitConvOp::applicable(s)) continue;
+      const ChipRunResult r = run_conv_data_parallel(s, 4, cfg);
+      chip_gflops_example = r.gflops;
+      std::printf("  %-12s %8.1f GFLOPS (%4.1f%% of the 3.0 TFLOPS chip)\n",
+                  l.name.c_str(), r.gflops, r.efficiency * 100.0);
+    }
+    (void)chip_gflops_example;
+  }
+  return 0;
+}

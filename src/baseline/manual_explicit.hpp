@@ -1,0 +1,21 @@
+// The manual explicit-GEMM convolution baseline of Fig. 7: im2col plus one
+// call into the hand-tuned GEMM library (xMath) on the resulting
+// (No) x (Ni*Kr*Kc) x (B*Ro*Co) problem.
+#pragma once
+
+#include "baseline/xmath_gemm.hpp"
+#include "ops/explicit_conv.hpp"
+
+namespace swatop::baseline {
+
+class ManualExplicitConv {
+ public:
+  explicit ManualExplicitConv(const sim::SimConfig& cfg) : cfg_(cfg) {}
+
+  double cycles(const ops::ConvShape& s) const;
+
+ private:
+  sim::SimConfig cfg_;
+};
+
+}  // namespace swatop::baseline

@@ -1,0 +1,35 @@
+// The manual Winograd baseline of Fig. 6: the transforms are shared with
+// swATOP's version, but the 16 element-wise-product GEMMs are dispatched as
+// 16 *independent* calls into the hand-tuned GEMM library (xMath), each
+// paying the library's fixed blocking, its own padding and its own
+// memory round trips -- no cross-t schedule, no fusion.
+//
+// The library-call boundary also forces data marshalling: a straightforward
+// transform produces tile-interleaved data ([p][t][ni] -- all 16 positions
+// of one tile together), while a CBLAS-style GEMM needs each V_t / M_t as a
+// dense column-major matrix, so every call gathers its input and scatters
+// its output with stride 16 (priced at transaction granularity). swATOP's
+// fused version instead *chooses* the t-major layout in the DSL (the layout
+// transformation of Sec. 4.3.2), making the marshalling disappear.
+#pragma once
+
+#include "baseline/xmath_gemm.hpp"
+#include "ops/winograd.hpp"
+
+namespace swatop::baseline {
+
+class ManualWinogradConv {
+ public:
+  explicit ManualWinogradConv(const sim::SimConfig& cfg) : cfg_(cfg) {}
+
+  static bool applicable(const ops::ConvShape& s) {
+    return ops::WinogradPlan::applicable(s);
+  }
+
+  double cycles(const ops::ConvShape& s) const;
+
+ private:
+  sim::SimConfig cfg_;
+};
+
+}  // namespace swatop::baseline

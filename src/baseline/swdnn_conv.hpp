@@ -1,0 +1,36 @@
+// A swDNN-like hand-optimized implicit convolution baseline [Fang et al.,
+// IPDPS'17]. swDNN ships one fixed blocking scheme designed for training
+// workloads: it requires large batch and channel counts (there is no manual
+// batch-1 implementation at all -- the gap Fig. 5 notes) and does not adapt
+// its tiles to the layer shape.
+#pragma once
+
+#include "dsl/dsl.hpp"
+#include "ops/implicit_conv.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::baseline {
+
+class SwDnnConv {
+ public:
+  explicit SwDnnConv(const sim::SimConfig& cfg) : cfg_(cfg) {}
+
+  /// swDNN's applicability envelope: batch >= 32 and channels in multiples
+  /// of 32 with Ni >= 64.
+  static bool applicable(const ops::ConvShape& s) {
+    return s.stride == 1 && s.batch >= 32 && s.ni >= 64 && s.ni % 32 == 0 &&
+           s.no >= 32 && s.no % 32 == 0;
+  }
+
+  /// The fixed manual schedule (64x64 channel blocking, batch as the GEMM N
+  /// dimension, B-operand row-major vectorized-N kernel).
+  static dsl::Strategy fixed_strategy(const ops::ImplicitConvOp& op);
+
+  /// Simulated cycles on a shape (throws if not applicable).
+  double cycles(const ops::ConvShape& s) const;
+
+ private:
+  sim::SimConfig cfg_;
+};
+
+}  // namespace swatop::baseline

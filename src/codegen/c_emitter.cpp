@@ -1,0 +1,193 @@
+#include "codegen/c_emitter.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "ir/mutator.hpp"
+
+namespace swatop::codegen {
+
+namespace ir = swatop::ir;
+
+namespace {
+
+std::string emit_expr(const ir::Expr& e) {
+  SWATOP_CHECK(e != nullptr);
+  std::ostringstream os;
+  switch (e->kind) {
+    case ir::ExprKind::Const:
+      os << e->value << "L";
+      break;
+    case ir::ExprKind::Var:
+      os << e->name;
+      break;
+    case ir::ExprKind::Add:
+      os << "(" << emit_expr(e->a) << " + " << emit_expr(e->b) << ")";
+      break;
+    case ir::ExprKind::Sub:
+      os << "(" << emit_expr(e->a) << " - " << emit_expr(e->b) << ")";
+      break;
+    case ir::ExprKind::Mul:
+      os << "(" << emit_expr(e->a) << " * " << emit_expr(e->b) << ")";
+      break;
+    case ir::ExprKind::FloorDiv:
+      os << "(" << emit_expr(e->a) << " / " << emit_expr(e->b) << ")";
+      break;
+    case ir::ExprKind::Mod:
+      os << "(" << emit_expr(e->a) << " % " << emit_expr(e->b) << ")";
+      break;
+    case ir::ExprKind::Min:
+      os << "SWATOP_MIN(" << emit_expr(e->a) << ", " << emit_expr(e->b)
+         << ")";
+      break;
+    case ir::ExprKind::Max:
+      os << "SWATOP_MAX(" << emit_expr(e->a) << ", " << emit_expr(e->b)
+         << ")";
+      break;
+    case ir::ExprKind::Select:
+      os << "((" << emit_expr(e->a) << ") ? (" << emit_expr(e->b) << ") : ("
+         << emit_expr(e->c) << "))";
+      break;
+    case ir::ExprKind::Lt:
+      os << "(" << emit_expr(e->a) << " < " << emit_expr(e->b) << ")";
+      break;
+    case ir::ExprKind::Ge:
+      os << "(" << emit_expr(e->a) << " >= " << emit_expr(e->b) << ")";
+      break;
+  }
+  return os.str();
+}
+
+class Emitter {
+ public:
+  explicit Emitter(std::ostringstream& os) : os_(os) {}
+
+  void stmt(const ir::StmtPtr& s, int depth) {
+    if (s == nullptr) return;
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    switch (s->kind) {
+      case ir::StmtKind::Seq:
+        for (const ir::StmtPtr& c : s->body) stmt(c, depth);
+        return;
+      case ir::StmtKind::For:
+        os_ << pad << "for (long " << s->var << " = 0; " << s->var << " < "
+            << emit_expr(s->extent) << "; ++" << s->var << ") {"
+            << (s->prefetched ? "  /* double buffered */" : "") << "\n";
+        stmt(s->for_body, depth + 1);
+        os_ << pad << "}\n";
+        return;
+      case ir::StmtKind::If:
+        os_ << pad << "if (" << emit_expr(s->cond) << ") {\n";
+        stmt(s->then_s, depth + 1);
+        if (s->else_s != nullptr &&
+            !(s->else_s->kind == ir::StmtKind::Seq &&
+              s->else_s->body.empty())) {
+          os_ << pad << "} else {\n";
+          stmt(s->else_s, depth + 1);
+        }
+        os_ << pad << "}\n";
+        return;
+      case ir::StmtKind::SpmAlloc:
+        // Allocations were coalesced; emitted in the prologue.
+        return;
+      case ir::StmtKind::SpmZero:
+        os_ << pad << "spm_zero(" << s->buf_name << " + "
+            << emit_expr(s->zero_off) << ", " << emit_expr(s->zero_floats)
+            << ");\n";
+        return;
+      case ir::StmtKind::DmaGet:
+      case ir::StmtKind::DmaPut: {
+        const ir::DmaAttrs& d = s->dma;
+        const char* fn =
+            s->kind == ir::StmtKind::DmaGet ? "swDMA_get_2d" : "swDMA_put_2d";
+        os_ << pad << fn << "(" << d.view.tensor << " + "
+            << emit_expr(d.view.base) << ", " << d.spm_buf << " + "
+            << emit_expr(d.spm_off) << ",\n"
+            << pad << "    /*rows=*/" << emit_expr(d.view.rows)
+            << ", /*cols=*/" << emit_expr(d.view.cols) << ", /*stride_r=*/"
+            << d.view.stride_r << ", /*stride_c=*/" << d.view.stride_c
+            << ",\n"
+            << pad << "    /*tile=*/" << emit_expr(d.rows_p) << ", "
+            << emit_expr(d.cols_p) << ", /*rows_to_rid=*/"
+            << (d.rows_to_rid ? 1 : 0) << ", &reply["
+            << emit_expr(d.reply) << "]);\n";
+        return;
+      }
+      case ir::StmtKind::DmaWait:
+        os_ << pad << "swDMAWait(&reply[" << emit_expr(s->wait_reply)
+            << "], 1);\n";
+        return;
+      case ir::StmtKind::Gemm: {
+        const ir::GemmAttrs& g = s->gemm;
+        os_ << pad << "spm_gemm(/*M=*/" << emit_expr(g.M) << ", /*N=*/"
+            << emit_expr(g.N) << ", /*K=*/" << emit_expr(g.K) << ", "
+            << g.alpha << "f,\n"
+            << pad << "    " << g.a_buf << " + " << emit_expr(g.a_off)
+            << ", " << g.b_buf << " + " << emit_expr(g.b_off) << ", 1.0f, "
+            << g.c_buf << " + " << emit_expr(g.c_off) << ",\n"
+            << pad << "    /*variant=*/SWATOP_GEMM_VARIANT_" << g.variant
+            << ");\n";
+        return;
+      }
+      case ir::StmtKind::Comment:
+        os_ << pad << "/* " << s->text << " */\n";
+        return;
+    }
+    SWATOP_UNREACHABLE("bad stmt kind in emitter");
+  }
+
+ private:
+  std::ostringstream& os_;
+};
+
+}  // namespace
+
+std::string emit_c(const ir::StmtPtr& root, const EmitOptions& opts) {
+  std::ostringstream os;
+  os << "/* Generated by swATOP -- SW26010 CPE kernel (SPMD, athread). */\n"
+     << "#include \"swatop_runtime.h\"\n\n"
+     << "#define SWATOP_MIN(a, b) ((a) < (b) ? (a) : (b))\n"
+     << "#define SWATOP_MAX(a, b) ((a) > (b) ? (a) : (b))\n\n";
+
+  // Coalesced SPM region: one static buffer per allocation, 32-byte aligned.
+  std::vector<const ir::Stmt*> allocs;
+  ir::visit(root, [&](const ir::StmtPtr& n) {
+    if (n->kind == ir::StmtKind::SpmAlloc) allocs.push_back(n.get());
+  });
+  std::int64_t total = 0;
+  for (const ir::Stmt* a : allocs) {
+    const std::int64_t one = align_up(a->buf_floats, 8);
+    const std::int64_t sz = a->double_buffered ? 2 * one : one;
+    os << "static __thread_local float " << a->buf_name << "[" << sz
+       << "] __attribute__((aligned(32)));"
+       << (a->double_buffered ? "  /* double buffered */" : "") << "\n";
+    total += sz;
+  }
+  os << "/* coalesced SPM footprint: " << total * 4 << " bytes */\n\n";
+
+  os << "void " << opts.kernel_name
+     << "(const swatop_args_t *args) {\n"
+     << "  swReplyWord reply[256];\n";
+  // Tensor pointers: every tensor mentioned by a DMA node.
+  std::vector<std::string> tensors;
+  ir::visit(root, [&](const ir::StmtPtr& n) {
+    if (n->kind == ir::StmtKind::DmaGet || n->kind == ir::StmtKind::DmaPut) {
+      bool seen = false;
+      for (const std::string& t : tensors)
+        seen = seen || t == n->dma.view.tensor;
+      if (!seen) tensors.push_back(n->dma.view.tensor);
+    }
+  });
+  for (const std::string& t : tensors)
+    os << "  float *" << t << " = args->" << t << ";\n";
+  os << "\n";
+
+  Emitter em(os);
+  em.stmt(root, 1);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace swatop::codegen

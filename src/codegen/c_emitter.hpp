@@ -1,0 +1,24 @@
+// The code generator (Sec. 4.7): lowers optimized IR into the C source a
+// SW26010 toolchain would compile for the CPE cluster -- athread-style SPMD
+// code calling the swDMA / swDMAWait / spm_gemm primitives, with all SPM
+// buffers laid out in one coalesced static region.
+//
+// On this reproduction the emitted source is the deliverable artifact (there
+// is no sw5cc to feed it to); tests validate its structure and the runtime
+// executes the same IR directly.
+#pragma once
+
+#include <string>
+
+#include "ir/node.hpp"
+
+namespace swatop::codegen {
+
+struct EmitOptions {
+  std::string kernel_name = "swatop_kernel";
+};
+
+/// Emit the full C translation unit for one optimized program.
+std::string emit_c(const ir::StmtPtr& root, const EmitOptions& opts = {});
+
+}  // namespace swatop::codegen

@@ -1,0 +1,61 @@
+// Checked-assertion machinery used across swATOP.
+//
+// SWATOP_CHECK is always on (it guards simulator invariants that, if broken,
+// would silently corrupt results -- e.g. SPM overflow, DMA out of bounds).
+// Failures throw swatop::CheckError so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swatop {
+
+/// Thrown when an internal invariant is violated. Carries the failing
+/// condition text and source location.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "swATOP check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckError(os.str());
+}
+
+/// Stream-capture helper so SWATOP_CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* cond, const char* file, int line)
+      : cond_(cond), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(cond_, file_, line_, os_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* cond_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace swatop
+
+#define SWATOP_CHECK(cond)                                       \
+  if (cond) {                                                    \
+  } else                                                         \
+    ::swatop::detail::CheckMessage(#cond, __FILE__, __LINE__)
+
+#define SWATOP_UNREACHABLE(msg)                                            \
+  ::swatop::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

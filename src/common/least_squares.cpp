@@ -1,0 +1,64 @@
+#include "common/least_squares.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace swatop {
+
+std::vector<double> solve_linear(std::vector<double> A, std::vector<double> b,
+                                 std::size_t n) {
+  SWATOP_CHECK(A.size() == n * n);
+  SWATOP_CHECK(b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(A[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(A[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    SWATOP_CHECK(best > 1e-12) << "singular system in solve_linear";
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(A[pivot * n + c], A[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double f = A[r * n + col] / A[col * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) A[r * n + c] -= f * A[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= A[ri * n + c] * x[c];
+    x[ri] = acc / A[ri * n + ri];
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const std::vector<double>& X,
+                                  const std::vector<double>& y,
+                                  std::size_t rows, std::size_t cols) {
+  SWATOP_CHECK(X.size() == rows * cols);
+  SWATOP_CHECK(y.size() == rows);
+  SWATOP_CHECK(rows >= cols) << "underdetermined least squares";
+  // Normal equations: (X^T X) b = X^T y.
+  std::vector<double> XtX(cols * cols, 0.0), Xty(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      Xty[i] += X[r * cols + i] * y[r];
+      for (std::size_t j = 0; j < cols; ++j)
+        XtX[i * cols + j] += X[r * cols + i] * X[r * cols + j];
+    }
+  }
+  return solve_linear(std::move(XtX), std::move(Xty), cols);
+}
+
+}  // namespace swatop

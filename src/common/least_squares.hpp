@@ -1,0 +1,26 @@
+// Dense linear least squares via normal equations, sized for the small
+// regression problems swATOP solves (fitting the 4-coefficient GEMM cost
+// model of Eq. (2) in the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swatop {
+
+/// Solve min ||X b - y||^2 for b, where X is rows x cols (row-major) and
+/// y has `rows` entries. Returns the `cols` coefficients.
+///
+/// Uses normal equations with partial-pivot Gaussian elimination; fine for
+/// the well-conditioned small systems swATOP fits. Throws CheckError on a
+/// singular system.
+std::vector<double> least_squares(const std::vector<double>& X,
+                                  const std::vector<double>& y,
+                                  std::size_t rows, std::size_t cols);
+
+/// Solve the square linear system A x = b (A is n x n row-major) with
+/// partial-pivot Gaussian elimination.
+std::vector<double> solve_linear(std::vector<double> A, std::vector<double> b,
+                                 std::size_t n);
+
+}  // namespace swatop

@@ -1,0 +1,64 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace swatop {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  SWATOP_CHECK(b > 0) << "ceil_div by non-positive " << b;
+  SWATOP_CHECK(a >= 0) << "ceil_div of negative " << a;
+  return (a + b - 1) / b;
+}
+
+std::int64_t align_up(std::int64_t v, std::int64_t align) {
+  SWATOP_CHECK(align > 0);
+  return ceil_div(v, align) * align;
+}
+
+std::int64_t align_down(std::int64_t v, std::int64_t align) {
+  SWATOP_CHECK(align > 0);
+  SWATOP_CHECK(v >= 0);
+  return (v / align) * align;
+}
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  SWATOP_CHECK(n > 0) << "divisors of non-positive " << n;
+  std::vector<std::int64_t> lo, hi;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      lo.push_back(d);
+      if (d != n / d) hi.push_back(n / d);
+    }
+  }
+  lo.insert(lo.end(), hi.rbegin(), hi.rend());
+  return lo;
+}
+
+std::vector<std::int64_t> split_factors(std::int64_t n,
+                                        std::int64_t max_factor) {
+  std::vector<std::int64_t> fs = divisors(n);
+  for (std::int64_t p = 1; p <= n; p *= 2) fs.push_back(p);
+  std::sort(fs.begin(), fs.end());
+  fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+  if (max_factor > 0) {
+    fs.erase(std::remove_if(fs.begin(), fs.end(),
+                            [&](std::int64_t f) { return f > max_factor; }),
+             fs.end());
+  }
+  return fs;
+}
+
+std::int64_t gcd(std::int64_t a, std::int64_t b) {
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace swatop

@@ -1,0 +1,34 @@
+// Small integer-math helpers used by the scheduler, the DMA cost model and
+// the boundary-processing passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swatop {
+
+/// ceil(a / b) for positive integers.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// Smallest multiple of `align` that is >= `v`.
+std::int64_t align_up(std::int64_t v, std::int64_t align);
+
+/// Largest multiple of `align` that is <= `v`.
+std::int64_t align_down(std::int64_t v, std::int64_t align);
+
+/// All positive divisors of n, ascending.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/// Candidate split factors for a loop of extent `n`: every divisor plus the
+/// powers of two up to `n` (non-divisor factors imply boundary processing).
+/// Result is deduplicated and ascending, capped at `max_factor` if > 0.
+std::vector<std::int64_t> split_factors(std::int64_t n,
+                                        std::int64_t max_factor = 0);
+
+/// Greatest common divisor.
+std::int64_t gcd(std::int64_t a, std::int64_t b);
+
+/// True if v is a power of two (v > 0).
+bool is_pow2(std::int64_t v);
+
+}  // namespace swatop

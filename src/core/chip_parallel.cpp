@@ -1,0 +1,53 @@
+#include "core/chip_parallel.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "ops/implicit_conv.hpp"
+#include "tune/tuner.hpp"
+
+namespace swatop {
+
+ChipRunResult run_conv_data_parallel(const ops::ConvShape& shape, int groups,
+                                     const sim::SimConfig& cfg) {
+  SWATOP_CHECK(groups >= 1 && groups <= 4);
+  const sim::Chip chip(cfg, groups);
+
+  // Split the batch as evenly as possible; a group may end up idle.
+  const std::int64_t per = ceil_div(shape.batch, groups);
+  std::vector<std::int64_t> split;
+  std::int64_t left = shape.batch;
+  for (int g = 0; g < groups && left > 0; ++g) {
+    const std::int64_t b = std::min(per, left);
+    split.push_back(b);
+    left -= b;
+  }
+
+  // Tune once per distinct sub-batch (usually one or two).
+  std::map<std::int64_t, double> cycles_for_batch;
+  const tune::ModelTuner tuner(cfg);
+  for (std::int64_t b : split) {
+    if (cycles_for_batch.count(b)) continue;
+    ops::ConvShape sub = shape;
+    sub.batch = b;
+    const ops::ImplicitConvOp op(sub);
+    const auto tuned = tuner.tune(op);
+    cycles_for_batch[b] = tune::measure_candidate(op, tuned.candidate, cfg);
+  }
+
+  ChipRunResult r;
+  r.groups_used = static_cast<int>(split.size());
+  double slowest = 0.0;
+  for (std::int64_t b : split) {
+    r.per_group_cycles.push_back(cycles_for_batch[b]);
+    slowest = std::max(slowest, cycles_for_batch[b]);
+  }
+  r.cycles = slowest + (r.groups_used > 1 ? chip.sync_cycles() : 0.0);
+  r.gflops = static_cast<double>(shape.flops()) / r.cycles * cfg.clock_ghz;
+  r.efficiency = r.gflops / chip.peak_gflops();
+  return r;
+}
+
+}  // namespace swatop

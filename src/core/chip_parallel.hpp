@@ -1,0 +1,28 @@
+// Chip-level data parallelism: run one tuned convolution batch-split across
+// the four core groups (how swDNN/swCaffe deploy training kernels, and how
+// the paper's chip-level TFLOPS figures relate to this repo's per-CG
+// numbers). Each group owns its memory channel, so the groups run
+// independently; a NoC barrier closes the kernel.
+#pragma once
+
+#include "ops/conv_common.hpp"
+#include "sim/chip.hpp"
+
+namespace swatop {
+
+struct ChipRunResult {
+  double cycles = 0.0;   ///< slowest group + barrier
+  double gflops = 0.0;   ///< full problem vs elapsed, chip-level
+  double efficiency = 0.0;  ///< fraction of chip peak
+  int groups_used = 0;
+  std::vector<double> per_group_cycles;
+};
+
+/// Tune the implicit-GEMM convolution for the per-group sub-batch and run
+/// it data-parallel over `groups` core groups. Groups with no batch share
+/// stay idle (batch 1 cannot use more than one group -- the scaling limit
+/// the bench shows).
+ChipRunResult run_conv_data_parallel(const ops::ConvShape& shape, int groups,
+                                     const sim::SimConfig& cfg);
+
+}  // namespace swatop

@@ -1,0 +1,37 @@
+#include "core/swatop.hpp"
+
+#include <cctype>
+
+namespace swatop {
+
+rt::RunResult OptimizedOperator::run(sim::CoreGroup& cg,
+                                     const dsl::BoundTensors& bt,
+                                     sim::ExecMode mode) const {
+  rt::Interpreter interp(cg, mode);
+  return interp.run(candidate.program, bt);
+}
+
+Optimizer::Optimizer(SwatopConfig cfg) : cfg_(cfg) {}
+
+OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
+  const tune::ModelTuner tuner(cfg_.machine);
+  sched::SchedulerOptions sopts;
+  sopts.opt.prefetch = cfg_.prefetch;
+  tune::Tuned tuned = tuner.tune(op, sopts);
+
+  OptimizedOperator out;
+  out.predicted_cycles = tuned.cycles;
+  out.stats = tuned.stats;
+  out.candidate = std::move(tuned.candidate);
+  codegen::EmitOptions eopts;
+  eopts.kernel_name = "swatop_" + op.name();
+  for (char& c : eopts.kernel_name)
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  out.c_source = codegen::emit_c(out.candidate.program, eopts);
+  if (cfg_.measure_best)
+    out.measured_cycles =
+        tune::measure_candidate(op, out.candidate, cfg_.machine);
+  return out;
+}
+
+}  // namespace swatop

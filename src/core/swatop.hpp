@@ -1,0 +1,61 @@
+// swATOP public API: describe an operator (ops/ provides matmul and the
+// three convolution designs, or implement dsl::OperatorDef for your own),
+// call Optimizer::optimize, and get back a tuned schedule, the generated C
+// source for SW26010, and a handle that runs the schedule on the simulated
+// core group.
+//
+//   swatop::Optimizer opt;
+//   swatop::ops::MatmulOp op(512, 512, 512);
+//   auto tuned = opt.optimize(op);
+//   sim::CoreGroup cg(opt.machine());
+//   auto bt = rt::bind_tensors(cg, op);
+//   op.fill_inputs(cg, bt, tuned.candidate.strategy);
+//   auto result = tuned.run(cg, bt, sim::ExecMode::Functional);
+#pragma once
+
+#include <string>
+
+#include "codegen/c_emitter.hpp"
+#include "dsl/dsl.hpp"
+#include "rt/bind.hpp"
+#include "rt/interpreter.hpp"
+#include "sched/scheduler.hpp"
+#include "tune/tuner.hpp"
+
+namespace swatop {
+
+struct SwatopConfig {
+  sim::SimConfig machine{};
+  bool prefetch = true;  ///< let the optimizer apply double buffering
+  /// Run the tuner's top choice through the timing interpreter and report
+  /// the measured cycles too.
+  bool measure_best = false;
+};
+
+struct OptimizedOperator {
+  sched::Candidate candidate;
+  tune::TunerStats stats;
+  double predicted_cycles = 0.0;
+  double measured_cycles = 0.0;  ///< 0 unless SwatopConfig::measure_best
+  std::string c_source;
+
+  /// Execute the tuned schedule.
+  rt::RunResult run(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                    sim::ExecMode mode) const;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(SwatopConfig cfg = {});
+
+  const sim::SimConfig& machine() const { return cfg_.machine; }
+
+  /// Tune the operator with the performance-model-based autotuner and
+  /// generate its code.
+  OptimizedOperator optimize(const dsl::OperatorDef& op) const;
+
+ private:
+  SwatopConfig cfg_;
+};
+
+}  // namespace swatop

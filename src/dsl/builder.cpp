@@ -1,0 +1,62 @@
+#include "dsl/builder.hpp"
+
+#include "common/check.hpp"
+
+namespace swatop::dsl {
+
+namespace {
+
+class BuiltOp final : public OperatorDef {
+ public:
+  BuiltOp(std::string name, ScheduleSpace space,
+          std::vector<TensorSpec> tensors, std::int64_t flops,
+          GemmOpBuilder::LowerFn lower, GemmOpBuilder::FillFn fill,
+          GemmOpBuilder::CheckFn check)
+      : name_(std::move(name)),
+        space_(std::move(space)),
+        tensors_(std::move(tensors)),
+        flops_(flops),
+        lower_(std::move(lower)),
+        fill_(std::move(fill)),
+        check_(std::move(check)) {}
+
+  std::string name() const override { return name_; }
+  ScheduleSpace space() const override { return space_; }
+  ir::StmtPtr lower(const Strategy& s) const override { return lower_(s); }
+  std::vector<TensorSpec> tensors() const override { return tensors_; }
+  std::int64_t flops() const override { return flops_; }
+
+  void fill_inputs(sim::CoreGroup& cg, const BoundTensors& bt,
+                   const Strategy& s) const override {
+    if (fill_) fill_(cg, bt, s);
+  }
+  double check_output(sim::CoreGroup& cg, const BoundTensors& bt,
+                      const Strategy& s) const override {
+    return check_ ? check_(cg, bt, s) : 0.0;
+  }
+
+ private:
+  std::string name_;
+  ScheduleSpace space_;
+  std::vector<TensorSpec> tensors_;
+  std::int64_t flops_;
+  GemmOpBuilder::LowerFn lower_;
+  GemmOpBuilder::FillFn fill_;
+  GemmOpBuilder::CheckFn check_;
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorDef> GemmOpBuilder::build() {
+  SWATOP_CHECK(!name_.empty()) << "operator needs a name";
+  SWATOP_CHECK(!tensors_.empty()) << "operator '" << name_
+                                  << "' declares no tensors";
+  SWATOP_CHECK(lower_ != nullptr)
+      << "operator '" << name_ << "' has no lowering rule";
+  return std::make_unique<BuiltOp>(std::move(name_), std::move(space_),
+                                   std::move(tensors_), flops_,
+                                   std::move(lower_), std::move(fill_),
+                                   std::move(check_));
+}
+
+}  // namespace swatop::dsl

@@ -1,0 +1,79 @@
+// User-facing operator construction (the embedded-DSL usage of Fig. 4):
+// declare tensors, factor/choice variables and a lowering rule, and get an
+// OperatorDef the scheduler and tuners accept -- no subclassing.
+//
+//   auto op = dsl::GemmOpBuilder("saxpy_gemm")
+//       .tensor("A", m * k)
+//       .tensor("B", k * n)
+//       .tensor("C", m * n, /*is_output=*/true)
+//       .factor({"Tm", {32, 64}})
+//       .choice({"variant", {"0", "6"}})
+//       .flops(2 * m * n * k)
+//       .lower_with([=](const dsl::Strategy& s) { ... return nest; })
+//       .build();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+
+namespace swatop::dsl {
+
+class GemmOpBuilder {
+ public:
+  using LowerFn = std::function<ir::StmtPtr(const Strategy&)>;
+  using FillFn =
+      std::function<void(sim::CoreGroup&, const BoundTensors&, const Strategy&)>;
+  using CheckFn =
+      std::function<double(sim::CoreGroup&, const BoundTensors&, const Strategy&)>;
+
+  explicit GemmOpBuilder(std::string name) : name_(std::move(name)) {}
+
+  GemmOpBuilder& tensor(std::string tname, std::int64_t floats,
+                        bool is_output = false) {
+    tensors_.push_back({std::move(tname), floats, is_output});
+    return *this;
+  }
+  GemmOpBuilder& factor(FactorVar f) {
+    space_.add(std::move(f));
+    return *this;
+  }
+  GemmOpBuilder& choice(ChoiceVar c) {
+    space_.add(std::move(c));
+    return *this;
+  }
+  GemmOpBuilder& flops(std::int64_t f) {
+    flops_ = f;
+    return *this;
+  }
+  GemmOpBuilder& lower_with(LowerFn fn) {
+    lower_ = std::move(fn);
+    return *this;
+  }
+  GemmOpBuilder& fill_with(FillFn fn) {
+    fill_ = std::move(fn);
+    return *this;
+  }
+  GemmOpBuilder& check_with(CheckFn fn) {
+    check_ = std::move(fn);
+    return *this;
+  }
+
+  /// Validates that a name, tensors and a lowering rule were provided.
+  std::unique_ptr<OperatorDef> build();
+
+ private:
+  std::string name_;
+  ScheduleSpace space_;
+  std::vector<TensorSpec> tensors_;
+  std::int64_t flops_ = 0;
+  LowerFn lower_;
+  FillFn fill_;
+  CheckFn check_;
+};
+
+}  // namespace swatop::dsl

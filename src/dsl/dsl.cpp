@@ -1,0 +1,100 @@
+#include "dsl/dsl.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace swatop::dsl {
+
+std::int64_t Strategy::factor(const std::string& name) const {
+  auto it = factors_.find(name);
+  SWATOP_CHECK(it != factors_.end()) << "unknown factor '" << name << "'";
+  return it->second;
+}
+
+const std::string& Strategy::choice(const std::string& name) const {
+  auto it = choices_.find(name);
+  SWATOP_CHECK(it != choices_.end()) << "unknown choice '" << name << "'";
+  return it->second;
+}
+
+std::string Strategy::to_string() const {
+  // Deterministic order for goldens: sort keys.
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : factors_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream os;
+  for (const auto& k : keys) os << k << "=" << factors_.at(k) << " ";
+  keys.clear();
+  for (const auto& [k, v] : choices_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (const auto& k : keys) os << k << "=" << choices_.at(k) << " ";
+  std::string s = os.str();
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+void ScheduleSpace::add(FactorVar f) {
+  SWATOP_CHECK(!f.candidates.empty())
+      << "factor '" << f.name << "' with no candidates";
+  factors_.push_back(std::move(f));
+}
+
+void ScheduleSpace::add(ChoiceVar c) {
+  SWATOP_CHECK(!c.options.empty())
+      << "choice '" << c.name << "' with no options";
+  choices_.push_back(std::move(c));
+}
+
+std::int64_t ScheduleSpace::size() const {
+  std::int64_t n = 1;
+  for (const auto& f : factors_)
+    n *= static_cast<std::int64_t>(f.candidates.size());
+  for (const auto& c : choices_)
+    n *= static_cast<std::int64_t>(c.options.size());
+  return n;
+}
+
+std::vector<Strategy> ScheduleSpace::enumerate(
+    const std::function<bool(const Strategy&)>& valid) const {
+  std::vector<Strategy> out;
+  Strategy cur;
+  // Recursive cartesian product over factors then choices.
+  std::function<void(std::size_t)> rec_choice = [&](std::size_t ci) {
+    if (ci == choices_.size()) {
+      if (!valid || valid(cur)) out.push_back(cur);
+      return;
+    }
+    for (const std::string& opt : choices_[ci].options) {
+      cur.set_choice(choices_[ci].name, opt);
+      rec_choice(ci + 1);
+    }
+  };
+  std::function<void(std::size_t)> rec_factor = [&](std::size_t fi) {
+    if (fi == factors_.size()) {
+      rec_choice(0);
+      return;
+    }
+    for (std::int64_t f : factors_[fi].candidates) {
+      cur.set_factor(factors_[fi].name, f);
+      rec_factor(fi + 1);
+    }
+  };
+  rec_factor(0);
+  return out;
+}
+
+bool OperatorDef::prefetch_enabled(const Strategy& s) const {
+  return !s.has_choice("prefetch") || s.choice("prefetch") == "on";
+}
+
+void OperatorDef::fill_inputs(sim::CoreGroup&, const BoundTensors&,
+                              const Strategy&) const {}
+
+double OperatorDef::check_output(sim::CoreGroup&, const BoundTensors&,
+                                 const Strategy&) const {
+  return 0.0;
+}
+
+}  // namespace swatop::dsl

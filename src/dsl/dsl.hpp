@@ -1,0 +1,126 @@
+// The embedded DSL of Sec. 4.2: an operator is described by a *schedule
+// seed* (its computation, lowered by the op definition into IR) plus a
+// *schedule space* built from factor variables (split factors the scheduler
+// traverses automatically) and choice variables (explicit candidates: loop
+// orders, layouts, vectorization dimensions, boundary strategies). Every
+// assignment of the variables is a *schedule strategy*; lowering a strategy
+// yields one IR candidate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/node.hpp"
+#include "sim/core_group.hpp"
+
+namespace swatop::dsl {
+
+/// A split-factor variable: swATOP traverses all candidates automatically
+/// (paper Fig. 4's FactorVar).
+struct FactorVar {
+  std::string name;
+  std::vector<std::int64_t> candidates;
+};
+
+/// An enumerated choice: reorderings require explicit candidates (there are
+/// too many permutations to traverse blindly); layouts, vectorization
+/// dimensions and boundary strategies use the same mechanism.
+struct ChoiceVar {
+  std::string name;
+  std::vector<std::string> options;
+};
+
+/// One point of the schedule space: an assignment of every variable.
+class Strategy {
+ public:
+  void set_factor(const std::string& name, std::int64_t v) {
+    factors_[name] = v;
+  }
+  void set_choice(const std::string& name, std::string v) {
+    choices_[name] = std::move(v);
+  }
+
+  std::int64_t factor(const std::string& name) const;
+  const std::string& choice(const std::string& name) const;
+  bool has_choice(const std::string& name) const {
+    return choices_.count(name) > 0;
+  }
+  bool has_factor(const std::string& name) const {
+    return factors_.count(name) > 0;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::unordered_map<std::string, std::int64_t> factors_;
+  std::unordered_map<std::string, std::string> choices_;
+};
+
+class ScheduleSpace {
+ public:
+  void add(FactorVar f);
+  void add(ChoiceVar c);
+
+  const std::vector<FactorVar>& factors() const { return factors_; }
+  const std::vector<ChoiceVar>& choices() const { return choices_; }
+
+  /// Number of raw assignments (before validity pruning).
+  std::int64_t size() const;
+
+  /// Enumerate all assignments; `valid`, when given, prunes.
+  std::vector<Strategy> enumerate(
+      const std::function<bool(const Strategy&)>& valid = nullptr) const;
+
+ private:
+  std::vector<FactorVar> factors_;
+  std::vector<ChoiceVar> choices_;
+};
+
+/// A main-memory tensor the operator reads or writes.
+struct TensorSpec {
+  std::string name;
+  std::int64_t floats = 0;
+  bool is_output = false;
+};
+
+/// Tensor name -> arena address, established by the runtime.
+using BoundTensors = std::unordered_map<std::string, sim::MainMemory::Addr>;
+
+/// The interface every operator definition implements: its schedule space,
+/// the lowering of a strategy into IR, and functional hooks for end-to-end
+/// validation.
+class OperatorDef {
+ public:
+  virtual ~OperatorDef() = default;
+
+  virtual std::string name() const = 0;
+  virtual ScheduleSpace space() const = 0;
+
+  /// Lower one strategy to pre-optimization IR (no DMA nodes yet; GEMM
+  /// nodes carry memory views). Returns nullptr when the assignment is
+  /// structurally invalid (the scheduler skips it).
+  virtual ir::StmtPtr lower(const Strategy& s) const = 0;
+
+  virtual std::vector<TensorSpec> tensors() const = 0;
+
+  /// Useful floating point work (2*M*N*K-style), for GFLOPS reporting.
+  virtual std::int64_t flops() const = 0;
+
+  /// Whether the double-buffering pass should run for this strategy
+  /// (the "prefetch" choice when present; on by default).
+  virtual bool prefetch_enabled(const Strategy& s) const;
+
+  /// Fill input tensors with deterministic pseudo-random data, honouring
+  /// the strategy's layout choices.
+  virtual void fill_inputs(sim::CoreGroup& cg, const BoundTensors& bt,
+                           const Strategy& s) const;
+
+  /// Max |computed - reference| over the outputs; used by tests.
+  virtual double check_output(sim::CoreGroup& cg, const BoundTensors& bt,
+                              const Strategy& s) const;
+};
+
+}  // namespace swatop::dsl

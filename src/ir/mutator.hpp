@@ -1,0 +1,19 @@
+// Traversal and mutation utilities over the statement IR.
+#pragma once
+
+#include <functional>
+
+#include "ir/node.hpp"
+
+namespace swatop::ir {
+
+/// Pre-order visit of every statement node.
+void visit(const StmtPtr& s, const std::function<void(const StmtPtr&)>& fn);
+
+/// Post-order rewrite: children are transformed first, then `fn` is applied
+/// to the (possibly updated) node. Returning a different StmtPtr replaces
+/// the node; returning the argument keeps it. `fn` may return nullptr to
+/// delete the node (only valid inside a Seq).
+StmtPtr transform(StmtPtr s, const std::function<StmtPtr(StmtPtr)>& fn);
+
+}  // namespace swatop::ir

@@ -1,0 +1,144 @@
+// Statement IR: the abstract syntax tree the scheduler lowers schedule
+// strategies into (Sec. 4.4). Nodes are For / If / Seq / SPM allocation /
+// DMA get-put-wait / GEMM, each carrying attribute expressions; schedule
+// transformations and the IR optimizer work by mutating this tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace swatop::ir {
+
+enum class StmtKind {
+  Seq,
+  For,
+  If,
+  SpmAlloc,
+  SpmZero,
+  DmaGet,
+  DmaPut,
+  DmaWait,
+  Gemm,
+  Comment,
+};
+
+enum class Direction { MemToSpm, SpmToMem };
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+/// A 2D matrix view into a named main-memory tensor: element (i, j) lives at
+/// float offset base + i*stride_r + j*stride_c; the view spans rows x cols
+/// valid elements. Views are attached to GEMM operands by lowering and moved
+/// onto DMA nodes by DMA inference.
+struct ViewAttrs {
+  std::string tensor;
+  Expr base;
+  std::int64_t stride_r = 1;
+  std::int64_t stride_c = 0;
+  Expr rows;  ///< valid rows (may be a boundary min())
+  Expr cols;  ///< valid cols
+};
+
+/// GEMM statement: C[c_buf] += alpha * op(A[a_buf]) x op(B[b_buf]) on SPM
+/// tiles, dims padded to primitive validity; `a/b/c` keep the memory views
+/// until DMA inference consumes them and fills the buffer bindings.
+struct GemmAttrs {
+  // Primitive dims. Constants under the lightweight-padding boundary
+  // strategy; min() expressions under parameter switching.
+  Expr M, N, K;
+  float alpha = 1.0f;
+  int variant = 0;  ///< isa::KernelVariant index
+
+  // Memory views (pre-inference).
+  ViewAttrs a, b, c;
+
+  // SPM bindings (post-inference). Offsets include double-buffer parity.
+  std::string a_buf, b_buf, c_buf;
+  Expr a_off, b_off, c_off;
+};
+
+/// DMA node (the paper's DMA_CPE after inference): move the view's valid
+/// rows x cols region between main memory and the SPM tile grid. The SPM
+/// tile is (rows_p x cols_p) split 8x8 across CPEs, each local tile stored
+/// column-major with leading dimension rows_p/8.
+struct DmaAttrs {
+  ViewAttrs view;
+  /// Tile grid dims (divisible by the mesh). Constants under lightweight
+  /// padding; the same min() expressions as the gemm dims under parameter
+  /// switching, where the grid shrinks with the boundary tile.
+  Expr rows_p;
+  Expr cols_p;
+  std::string spm_buf;
+  Expr spm_off;  ///< offset within the buffer (double-buffer parity)
+  Expr reply;    ///< reply-word slot id
+  Direction dir = Direction::MemToSpm;
+  bool scatter = true;  ///< 8x8 scatter vs replicate to every CPE
+  /// True when view-row blocks map to mesh row ids (the natural
+  /// orientation); false when the view was transposed to feed a row-major
+  /// kernel operand, in which case view-row blocks map to column ids.
+  bool rows_to_rid = true;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Seq;
+
+  // Seq
+  std::vector<StmtPtr> body;
+
+  // For: for (var = 0; var < extent; ++var) for_body
+  std::string var;
+  Expr extent;
+  StmtPtr for_body;
+  bool prefetched = false;  ///< marker: double-buffering applied here
+  bool reduction = false;   ///< iterations accumulate into the gemm output
+
+  // If
+  Expr cond;
+  StmtPtr then_s;
+  StmtPtr else_s;
+
+  // SpmAlloc / SpmZero
+  std::string buf_name;
+  std::int64_t buf_floats = 0;   ///< per-CPE floats (before doubling)
+  bool double_buffered = false;  ///< SpmAlloc: two halves
+  Expr zero_off;                 ///< SpmZero: offset
+  Expr zero_floats;              ///< SpmZero: count
+
+  // DmaGet / DmaPut
+  DmaAttrs dma;
+
+  // DmaWait
+  Expr wait_reply;
+
+  // Gemm
+  GemmAttrs gemm;
+
+  // Comment
+  std::string text;
+};
+
+// -- constructors ------------------------------------------------------------
+StmtPtr make_seq(std::vector<StmtPtr> body = {});
+StmtPtr make_for(std::string var, Expr extent, StmtPtr body,
+                 bool reduction = false);
+StmtPtr make_if(Expr cond, StmtPtr then_s, StmtPtr else_s = nullptr);
+StmtPtr make_spm_alloc(std::string name, std::int64_t floats,
+                       bool double_buffered = false);
+StmtPtr make_spm_zero(std::string buf, Expr off, Expr floats);
+StmtPtr make_dma(StmtKind get_or_put, DmaAttrs attrs);
+StmtPtr make_dma_wait(Expr reply);
+StmtPtr make_gemm(GemmAttrs attrs);
+StmtPtr make_comment(std::string text);
+
+/// Deep structural copy (expressions are shared; they are immutable).
+StmtPtr deep_copy(const StmtPtr& s);
+
+/// Append a child to a Seq (creating the body vector as needed).
+void seq_push(StmtPtr& seq, StmtPtr child);
+
+}  // namespace swatop::ir

@@ -1,0 +1,12 @@
+// Human-readable dump of the statement IR, used by tests and debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/node.hpp"
+
+namespace swatop::ir {
+
+std::string print(const StmtPtr& s);
+
+}  // namespace swatop::ir

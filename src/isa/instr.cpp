@@ -1,0 +1,107 @@
+#include "isa/instr.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace swatop::isa {
+
+Pipe pipe_of(Opcode op) {
+  switch (op) {
+    case Opcode::vmad:
+    case Opcode::vadd:
+    case Opcode::vmul:
+      return Pipe::P0;
+    case Opcode::vldd:
+    case Opcode::vstd:
+    case Opcode::ldse:
+    case Opcode::vlddr:
+    case Opcode::vlddc:
+    case Opcode::vldder:
+    case Opcode::vlddec:
+    case Opcode::getr:
+    case Opcode::getc:
+      return Pipe::P1;
+    case Opcode::ldi:
+    case Opcode::addi:
+    case Opcode::bne:
+    case Opcode::nop:
+      return Pipe::Either;
+  }
+  SWATOP_UNREACHABLE("bad opcode");
+}
+
+int latency_of(Opcode op, const sim::SimConfig& cfg) {
+  switch (op) {
+    case Opcode::vmad:
+      return cfg.vmad_latency;
+    case Opcode::vadd:
+    case Opcode::vmul:
+      return cfg.vmad_latency - 1;
+    case Opcode::vldd:
+    case Opcode::ldse:
+      return cfg.vload_latency;
+    case Opcode::vstd:
+      return cfg.vstore_latency;
+    case Opcode::vlddr:
+    case Opcode::vlddc:
+    case Opcode::vldder:
+    case Opcode::vlddec:
+    case Opcode::getr:
+    case Opcode::getc:
+      // Load plus bus transit: consumers see the broadcast value after the
+      // register-communication latency.
+      return cfg.reg_comm_latency;
+    case Opcode::ldi:
+    case Opcode::addi:
+    case Opcode::bne:
+    case Opcode::nop:
+      return 1;
+  }
+  SWATOP_UNREACHABLE("bad opcode");
+}
+
+bool writes_register(Opcode op) {
+  switch (op) {
+    case Opcode::vstd:
+    case Opcode::bne:
+    case Opcode::nop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::vmad: return "vmad";
+    case Opcode::vadd: return "vadd";
+    case Opcode::vmul: return "vmul";
+    case Opcode::vldd: return "vldd";
+    case Opcode::vstd: return "vstd";
+    case Opcode::ldse: return "ldse";
+    case Opcode::vlddr: return "vlddr";
+    case Opcode::vlddc: return "vlddc";
+    case Opcode::vldder: return "vldder";
+    case Opcode::vlddec: return "vlddec";
+    case Opcode::getr: return "getr";
+    case Opcode::getc: return "getc";
+    case Opcode::ldi: return "ldi";
+    case Opcode::addi: return "addi";
+    case Opcode::bne: return "bne";
+    case Opcode::nop: return "nop";
+  }
+  return "?";
+}
+
+std::string Instr::to_string() const {
+  std::ostringstream os;
+  os << opcode_name(op);
+  if (dst >= 0) os << " r" << dst;
+  if (src1 >= 0) os << ", r" << src1;
+  if (src2 >= 0) os << ", r" << src2;
+  if (src3 >= 0) os << ", r" << src3;
+  return os.str();
+}
+
+}  // namespace swatop::isa

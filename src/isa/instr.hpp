@@ -1,0 +1,68 @@
+// A virtual subset of the SW26010 CPE instruction set, sufficient to express
+// the GEMM micro-kernels of the paper's appendix.
+//
+// The CPE issues in order to two pipelines: P0 executes floating-point and
+// vector arithmetic, P1 executes memory and register-communication
+// operations; integer scalar operations can go to either. The kernel
+// generator emits these instructions and the pipeline simulator prices them
+// with dual issue and read-after-write hazards -- the mechanism behind the
+// paper's "16 vmad in 16 cycles" claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hpp"
+
+namespace swatop::isa {
+
+enum class Opcode : std::uint8_t {
+  // P0: vector arithmetic.
+  vmad,  ///< vd = va * vb + vd (4-wide fused multiply-add)
+  vadd,  ///< vd = va + vb
+  vmul,  ///< vd = va * vb
+
+  // P1: SPM access and register communication.
+  vldd,    ///< load a 4-float vector from local SPM
+  vstd,    ///< store a 4-float vector to local SPM
+  ldse,    ///< load one float from SPM and insert it into a vector lane
+  vlddr,   ///< load a vector from SPM and broadcast it on the row bus
+  vlddc,   ///< load a vector from SPM and broadcast it on the column bus
+  vldder,  ///< load a scalar, extend to a 4-vector, broadcast on the row bus
+  vlddec,  ///< load a scalar, extend to a 4-vector, broadcast on the col bus
+  getr,    ///< receive a vector from the row bus
+  getc,    ///< receive a vector from the column bus
+
+  // Scalar / control, dual-pipe.
+  ldi,   ///< load immediate into a scalar register
+  addi,  ///< scalar add immediate
+  bne,   ///< conditional branch (loop back-edge)
+  nop,
+};
+
+enum class Pipe : std::uint8_t { P0, P1, Either };
+
+/// Which pipeline an opcode issues to.
+Pipe pipe_of(Opcode op);
+
+/// Result latency in cycles (cycles until a consumer may issue).
+int latency_of(Opcode op, const sim::SimConfig& cfg);
+
+/// True if the opcode produces a register value that consumers wait on.
+bool writes_register(Opcode op);
+
+const char* opcode_name(Opcode op);
+
+/// One instruction. Registers are small integer ids in a unified namespace;
+/// `dst < 0` means "no tracked destination" (stores, partial lane inserts).
+struct Instr {
+  Opcode op = Opcode::nop;
+  int dst = -1;
+  int src1 = -1;
+  int src2 = -1;
+  int src3 = -1;
+
+  std::string to_string() const;
+};
+
+}  // namespace swatop::isa

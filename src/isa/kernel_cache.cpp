@@ -1,0 +1,141 @@
+#include "isa/kernel_cache.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace swatop::isa {
+
+namespace {
+
+int log2_small(int v) {
+  switch (v) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+  }
+  SWATOP_UNREACHABLE("register block dims must be 1, 2 or 4");
+}
+
+/// Greedy decomposition of a length into blocks of 4/2/1 units.
+void decompose(std::int64_t len, std::int64_t unit,
+               std::vector<std::pair<int, std::int64_t>>& out) {
+  // out accumulates (block_dim, count).
+  for (int b : {4, 2, 1}) {
+    const std::int64_t span = static_cast<std::int64_t>(b) * unit;
+    const std::int64_t cnt = len / span;
+    if (cnt > 0) out.emplace_back(b, cnt);
+    len -= cnt * span;
+  }
+  SWATOP_CHECK(len == 0) << "length not decomposable by unit " << unit;
+}
+
+}  // namespace
+
+int KernelCostDb::block_slot(RegBlock rb) {
+  return log2_small(rb.mv) * 3 + log2_small(rb.nb);
+}
+
+KernelCostDb::KernelCostDb(const sim::SimConfig& cfg)
+    : cfg_(cfg), pipe_(cfg_) {
+  for (const KernelVariant& v : all_kernel_variants()) {
+    for (int mv : {1, 2, 4}) {
+      for (int nb : {1, 2, 4}) {
+        const RegBlock rb{mv, nb};
+        const auto pair = emit_kernel_pair(v, rb, cfg_);
+        const double per_iter =
+            pipe_.steady_state_cycles(pair, 2, 6) / 2.0;
+        per_iter_[static_cast<std::size_t>(v.index())]
+                 [static_cast<std::size_t>(block_slot(rb))] = per_iter;
+
+        // Overhead: prologue + 2 body iterations + epilogue, minus the
+        // steady-state share of those 2 iterations.
+        std::vector<Instr> seq = emit_block_prologue(rb);
+        const auto body = emit_kernel_pair(v, rb, cfg_);
+        seq.insert(seq.end(), body.begin(), body.end());
+        const auto epi = emit_block_epilogue(rb);
+        seq.insert(seq.end(), epi.begin(), epi.end());
+        const double total = static_cast<double>(pipe_.run(seq).cycles);
+        const double ovh = total - 2.0 * per_iter;
+        overhead_[static_cast<std::size_t>(v.index())]
+                 [static_cast<std::size_t>(block_slot(rb))] =
+            ovh > 0.0 ? ovh : 0.0;
+      }
+    }
+  }
+}
+
+double KernelCostDb::per_iter_cycles(const KernelVariant& v,
+                                     RegBlock rb) const {
+  return per_iter_[static_cast<std::size_t>(v.index())]
+                  [static_cast<std::size_t>(block_slot(rb))];
+}
+
+double KernelCostDb::block_overhead_cycles(const KernelVariant& v,
+                                           RegBlock rb) const {
+  return overhead_[static_cast<std::size_t>(v.index())]
+                  [static_cast<std::size_t>(block_slot(rb))];
+}
+
+double KernelCostDb::local_gemm_cycles(const KernelVariant& v, std::int64_t m,
+                                       std::int64_t n, std::int64_t k) const {
+  if (m <= 0 || n <= 0 || k <= 0) return 0.0;
+  const std::int64_t vec_len = v.vec == VecDim::M ? m : n;
+  const std::int64_t scal_len = v.vec == VecDim::M ? n : m;
+  SWATOP_CHECK(vec_len % cfg_.vector_width == 0)
+      << "vectorized dim " << vec_len << " not a multiple of "
+      << cfg_.vector_width;
+
+  std::vector<std::pair<int, std::int64_t>> vec_blocks, scal_blocks;
+  decompose(vec_len, cfg_.vector_width, vec_blocks);  // mv units of 4
+  decompose(scal_len, 1, scal_blocks);                // nb units of 1
+
+  double cycles = 0.0;
+  for (const auto& [mv, mcnt] : vec_blocks) {
+    for (const auto& [nb, ncnt] : scal_blocks) {
+      const RegBlock rb{mv, nb};
+      const double per_block =
+          block_overhead_cycles(v, rb) +
+          static_cast<double>(k) * per_iter_cycles(v, rb);
+      cycles += static_cast<double>(mcnt * ncnt) * per_block;
+    }
+  }
+  return cycles;
+}
+
+double KernelCostDb::spm_gemm_cycles(const KernelVariant& v, std::int64_t M,
+                                     std::int64_t N, std::int64_t K) const {
+  const int R = cfg_.mesh_rows;
+  const int C = cfg_.mesh_cols;
+  SWATOP_CHECK(M % R == 0 && N % C == 0 && K % R == 0)
+      << "spm_gemm dims (" << M << "," << N << "," << K
+      << ") not divisible by the mesh";
+  const std::int64_t m = M / R, n = N / C, k = K / R;
+  const double panel = local_gemm_cycles(v, m, n, k);
+  // One communication-pattern switch per k-panel (Sec. 4.6's "latency to
+  // switch register communication pattern").
+  return static_cast<double>(R) *
+         (panel + static_cast<double>(cfg_.reg_comm_latency));
+}
+
+const KernelCostDb& kernel_cost_db(const sim::SimConfig& cfg) {
+  // One database per distinct machine model (the kernel cycle costs depend
+  // on the pipeline latencies, vector width and mesh -- not the clock).
+  using Key = std::tuple<int, int, int, int, int, int, int>;
+  const Key key{cfg.vmad_latency,  cfg.vload_latency, cfg.vstore_latency,
+                cfg.reg_comm_latency, cfg.vector_width, cfg.mesh_rows,
+                cfg.mesh_cols};
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<KernelCostDb>> registry;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto it = registry.find(key);
+  if (it == registry.end())
+    it = registry.emplace(key, std::make_unique<KernelCostDb>(cfg)).first;
+  return *it->second;
+}
+
+}  // namespace swatop::isa

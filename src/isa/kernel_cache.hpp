@@ -1,0 +1,57 @@
+// Memoized micro-kernel costs and the composition rules that turn them into
+// whole spm_gemm primitive times.
+//
+// A local GEMM on one CPE decomposes the vectorized dimension into register
+// blocks of 16/8/4 elements and the scalar dimension into blocks of 4/2/1;
+// each (variant, block) body is priced once through the pipeline simulator
+// and cached. The cluster-level primitive runs 8 SUMMA steps (one per
+// k-panel), paying a register-communication pattern-switch latency between
+// panels -- the structure behind Eq. (2) of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/kernel_gen.hpp"
+#include "isa/pipeline.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::isa {
+
+class KernelCostDb {
+ public:
+  explicit KernelCostDb(const sim::SimConfig& cfg);
+
+  /// Steady-state cycles of one k-iteration of a (variant, block) body.
+  double per_iter_cycles(const KernelVariant& v, RegBlock rb) const;
+
+  /// Fixed cycles per register block: C load/store plus pipeline fill/drain.
+  double block_overhead_cycles(const KernelVariant& v, RegBlock rb) const;
+
+  /// Cycles of a per-CPE local GEMM: (m x n x k) with m,n,k the local tile
+  /// dims. The vectorized dimension (m for vec-M) must be a multiple of 4.
+  double local_gemm_cycles(const KernelVariant& v, std::int64_t m,
+                           std::int64_t n, std::int64_t k) const;
+
+  /// Cycles of the cluster-level spm_gemm with global dims (M x N x K),
+  /// distributed 8x8 and executed as 8 broadcast panels.
+  double spm_gemm_cycles(const KernelVariant& v, std::int64_t M,
+                         std::int64_t N, std::int64_t K) const;
+
+  const sim::SimConfig& config() const { return cfg_; }
+
+ private:
+  static int block_slot(RegBlock rb);
+
+  sim::SimConfig cfg_;
+  PipelineSim pipe_;
+  // 8 variants x 9 (mv in {1,2,4} x nb in {1,2,4}) blocks.
+  std::array<std::array<double, 9>, 8> per_iter_{};
+  std::array<std::array<double, 9>, 8> overhead_{};
+};
+
+/// Process-wide cost database for the default configuration. Building one is
+/// cheap (72 pipeline simulations) but used on hot tuning paths.
+const KernelCostDb& kernel_cost_db(const sim::SimConfig& cfg);
+
+}  // namespace swatop::isa

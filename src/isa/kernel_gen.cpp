@@ -1,0 +1,154 @@
+#include "isa/kernel_gen.hpp"
+
+#include "common/check.hpp"
+
+namespace swatop::isa {
+
+namespace {
+
+// Register file map (unified ids, mirroring the 32 vector registers of a
+// CPE): C block in [0, 16), A vectors in [16, 24) split by parity, B vectors
+// in [24, 32) split by parity. Scalar loop counter uses id 40.
+constexpr int kCBase = 0;
+constexpr int kABase = 16;
+constexpr int kBBase = 24;
+constexpr int kLoopReg = 40;
+
+int c_reg(int i, int j, int nb) { return kCBase + i * nb + j; }
+int a_reg(int parity, int i) { return kABase + parity * 4 + i; }
+int b_reg(int parity, int j) { return kBBase + parity * 4 + j; }
+
+/// Append the loads that make the `parity` set of A/B registers for one
+/// k-iteration available.
+void emit_loads(std::vector<Instr>& out, const KernelVariant& v, RegBlock rb,
+                int parity) {
+  const Opcode vec_bcast = v.vec == VecDim::M ? Opcode::vlddr : Opcode::vlddc;
+  const Opcode scal_bcast = v.vec == VecDim::M ? Opcode::vlddec
+                                               : Opcode::vldder;
+  // Vectorized operand: mv vector registers.
+  for (int i = 0; i < rb.mv; ++i) {
+    const int dst =
+        v.vec == VecDim::M ? a_reg(parity, i) : b_reg(parity, i);
+    if (v.vector_operand_contiguous()) {
+      out.push_back({vec_bcast, dst, -1, -1, -1});
+    } else {
+      // Assemble the vector from four scalar lane inserts, then put it on
+      // the bus. The first three inserts write untracked lanes.
+      for (int lane = 0; lane < 3; ++lane)
+        out.push_back({Opcode::ldse, -1, -1, -1, -1});
+      out.push_back({Opcode::ldse, dst, -1, -1, -1});
+      out.push_back({vec_bcast, dst, dst, -1, -1});
+    }
+  }
+  // Scalar operand: nb broadcast-extended scalars. A stride-1 walk along K
+  // needs no extra address arithmetic; the transposed layout pays one scalar
+  // address update per element.
+  const bool scalar_contig =
+      v.vec == VecDim::M ? v.b_col_major : !v.a_col_major;
+  for (int j = 0; j < rb.nb; ++j) {
+    const int dst =
+        v.vec == VecDim::M ? b_reg(parity, j) : a_reg(parity, j);
+    if (!scalar_contig)
+      out.push_back({Opcode::addi, kLoopReg + 1 + j, kLoopReg + 1 + j, -1, -1});
+    out.push_back({scal_bcast, dst, -1, -1, -1});
+  }
+}
+
+/// vmads of one k-iteration using the `parity` register set, interleaved by
+/// the caller with the other parity's loads.
+void emit_vmads(std::vector<Instr>& out, RegBlock rb, int parity) {
+  for (int i = 0; i < rb.mv; ++i) {
+    for (int j = 0; j < rb.nb; ++j) {
+      const int c = c_reg(i, j, rb.nb);
+      // vmad c += a * b: c is both source and destination.
+      out.push_back({Opcode::vmad, c, a_reg(parity, i), b_reg(parity, j), c});
+    }
+  }
+}
+
+/// Interleave `mem` (P1-heavy) into `arith` (P0-heavy) so the in-order dual
+/// issue can pair them: one memory op after each arithmetic op until either
+/// runs out.
+std::vector<Instr> interleave(const std::vector<Instr>& arith,
+                              const std::vector<Instr>& mem) {
+  std::vector<Instr> out;
+  out.reserve(arith.size() + mem.size());
+  std::size_t ai = 0, mi = 0;
+  while (ai < arith.size() || mi < mem.size()) {
+    if (ai < arith.size()) out.push_back(arith[ai++]);
+    if (mi < mem.size()) out.push_back(mem[mi++]);
+  }
+  return out;
+}
+
+void check_block(RegBlock rb) {
+  SWATOP_CHECK(rb.mv == 1 || rb.mv == 2 || rb.mv == 4)
+      << "bad register block mv=" << rb.mv;
+  SWATOP_CHECK(rb.nb == 1 || rb.nb == 2 || rb.nb == 4)
+      << "bad register block nb=" << rb.nb;
+}
+
+}  // namespace
+
+KernelVariant KernelVariant::from_index(int idx) {
+  SWATOP_CHECK(idx >= 0 && idx < 8) << "kernel variant index " << idx;
+  KernelVariant v;
+  v.a_col_major = (idx & 1) == 0;
+  v.b_col_major = (idx & 2) == 0;
+  v.vec = (idx & 4) == 0 ? VecDim::M : VecDim::N;
+  return v;
+}
+
+std::string KernelVariant::name() const {
+  std::string s = "gemm_";
+  s += a_col_major ? "acm_" : "arm_";
+  s += b_col_major ? "bcm_" : "brm_";
+  s += vec == VecDim::M ? "vecM" : "vecN";
+  return s;
+}
+
+std::vector<Instr> emit_kernel_pair(const KernelVariant& v, RegBlock rb,
+                                    const sim::SimConfig& cfg) {
+  (void)cfg;
+  check_block(rb);
+  std::vector<Instr> out;
+  for (int parity = 0; parity < 2; ++parity) {
+    // Loads for the *next* iteration (parity) pair with the vmads consuming
+    // the previous iteration's registers (1 - parity): software pipelining.
+    std::vector<Instr> loads, vmads;
+    emit_loads(loads, v, rb, parity);
+    emit_vmads(vmads, rb, 1 - parity);
+    auto mixed = interleave(vmads, loads);
+    out.insert(out.end(), mixed.begin(), mixed.end());
+    // Loop control for this k-iteration.
+    out.push_back({Opcode::addi, kLoopReg, kLoopReg, -1, -1});
+    out.push_back({Opcode::bne, -1, kLoopReg, -1, -1});
+  }
+  return out;
+}
+
+std::vector<Instr> emit_block_prologue(RegBlock rb) {
+  check_block(rb);
+  std::vector<Instr> out;
+  for (int i = 0; i < rb.mv; ++i)
+    for (int j = 0; j < rb.nb; ++j)
+      out.push_back({Opcode::vldd, c_reg(i, j, rb.nb), -1, -1, -1});
+  return out;
+}
+
+std::vector<Instr> emit_block_epilogue(RegBlock rb) {
+  check_block(rb);
+  std::vector<Instr> out;
+  for (int i = 0; i < rb.mv; ++i)
+    for (int j = 0; j < rb.nb; ++j)
+      out.push_back({Opcode::vstd, -1, c_reg(i, j, rb.nb), -1, -1});
+  return out;
+}
+
+std::vector<KernelVariant> all_kernel_variants() {
+  std::vector<KernelVariant> vs;
+  for (int i = 0; i < 8; ++i) vs.push_back(KernelVariant::from_index(i));
+  return vs;
+}
+
+}  // namespace swatop::isa

@@ -1,0 +1,72 @@
+// Template-based generator of the GEMM micro-kernel instruction streams.
+//
+// The paper's appendix describes hand-written assembly kernels with a 4x4
+// register blocking of C, SIMD loads that broadcast over the row/column
+// communication buses (vlddr/vlddc/vldder/vlddec), and software pipelining
+// that finishes 16 vmads in 16 cycles. Eight variants exist: A tile row- or
+// column-major x B tile row- or column-major x vectorization along M or N.
+// This module emits those instruction streams; the pipeline simulator prices
+// them, and the scheduler's layout/vectorization transformations then have a
+// real cost surface to explore.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::isa {
+
+enum class VecDim { M, N };
+
+/// One of the eight micro-kernel variants.
+struct KernelVariant {
+  bool a_col_major = true;  ///< A tile stored with M as the leading dim
+  bool b_col_major = true;  ///< B tile stored with K as the leading dim
+  VecDim vec = VecDim::M;
+
+  int index() const {
+    return (a_col_major ? 0 : 1) + (b_col_major ? 0 : 2) +
+           (vec == VecDim::M ? 0 : 4);
+  }
+  static KernelVariant from_index(int idx);
+  std::string name() const;
+
+  /// True when the vectorized operand's tile layout allows plain vector
+  /// loads (one vlddr/vlddc per 4 elements); false means the kernel must
+  /// assemble vectors from scalar lane inserts.
+  bool vector_operand_contiguous() const {
+    return vec == VecDim::M ? a_col_major : !b_col_major;
+  }
+
+  bool operator==(const KernelVariant& o) const {
+    return index() == o.index();
+  }
+};
+
+/// Register-block shape: `mv` vector registers along the vectorized
+/// dimension (covering 4*mv elements) by `nb` elements along the scalar
+/// dimension; C occupies mv*nb vector registers.
+struct RegBlock {
+  int mv = 4;
+  int nb = 4;
+};
+
+/// Emit the software-pipelined repeating unit of the inner K loop: TWO
+/// k-iterations (even/odd register parities), with next-iteration loads
+/// interleaved among current-iteration vmads plus the loop-control scalar
+/// ops. Feed to PipelineSim::steady_state_cycles and divide by 2.
+std::vector<Instr> emit_kernel_pair(const KernelVariant& v, RegBlock rb,
+                                    const sim::SimConfig& cfg);
+
+/// Emit the block prologue: load the mv*nb C vectors into registers.
+std::vector<Instr> emit_block_prologue(RegBlock rb);
+
+/// Emit the block epilogue: store the C vectors back to SPM.
+std::vector<Instr> emit_block_epilogue(RegBlock rb);
+
+/// All eight variants, index order.
+std::vector<KernelVariant> all_kernel_variants();
+
+}  // namespace swatop::isa

@@ -1,0 +1,69 @@
+#include "nets/nets.hpp"
+
+namespace swatop::nets {
+
+std::vector<LayerDef> vgg16() {
+  return {
+      {"conv1_1", 3, 64, 224, 3},   {"conv1_2", 64, 64, 224, 3},
+      {"conv2_1", 64, 128, 112, 3}, {"conv2_2", 128, 128, 112, 3},
+      {"conv3_1", 128, 256, 56, 3}, {"conv3_2", 256, 256, 56, 3},
+      {"conv3_3", 256, 256, 56, 3}, {"conv4_1", 256, 512, 28, 3},
+      {"conv4_2", 512, 512, 28, 3}, {"conv4_3", 512, 512, 28, 3},
+      {"conv5_1", 512, 512, 14, 3}, {"conv5_2", 512, 512, 14, 3},
+      {"conv5_3", 512, 512, 14, 3},
+  };
+}
+
+std::vector<LayerDef> resnet() {
+  // The stride-1 convolutions of ResNet-50's bottleneck stages.
+  return {
+      {"res2_1x1a", 64, 64, 56, 1},    {"res2_3x3", 64, 64, 56, 3},
+      {"res2_1x1b", 64, 256, 56, 1},   {"res2_proj", 256, 64, 56, 1},
+      {"res3_1x1a", 256, 128, 28, 1},  {"res3_3x3", 128, 128, 28, 3},
+      {"res3_1x1b", 128, 512, 28, 1},  {"res3_proj", 512, 128, 28, 1},
+      {"res4_1x1a", 512, 256, 14, 1},  {"res4_3x3", 256, 256, 14, 3},
+      {"res4_1x1b", 256, 1024, 14, 1}, {"res4_proj", 1024, 256, 14, 1},
+      {"res5_1x1a", 1024, 512, 7, 1},  {"res5_3x3", 512, 512, 7, 3},
+      {"res5_1x1b", 512, 2048, 7, 1},  {"res5_proj", 2048, 512, 7, 1},
+  };
+}
+
+std::vector<LayerDef> yolo() {
+  // Darknet-19 backbone (YOLOv2) at 224 input scale.
+  return {
+      {"conv1", 3, 32, 224, 3},    {"conv2", 32, 64, 112, 3},
+      {"conv3", 64, 128, 56, 3},   {"conv4", 128, 64, 56, 1},
+      {"conv5", 64, 128, 56, 3},   {"conv6", 128, 256, 28, 3},
+      {"conv7", 256, 128, 28, 1},  {"conv8", 128, 256, 28, 3},
+      {"conv9", 256, 512, 14, 3},  {"conv10", 512, 256, 14, 1},
+      {"conv11", 256, 512, 14, 3}, {"conv12", 512, 256, 14, 1},
+      {"conv13", 256, 512, 14, 3}, {"conv14", 512, 1024, 7, 3},
+      {"conv15", 1024, 512, 7, 1}, {"conv16", 512, 1024, 7, 3},
+  };
+}
+
+ops::ConvShape to_shape(const LayerDef& l, std::int64_t batch) {
+  ops::ConvShape s;
+  s.batch = batch;
+  s.ni = l.ni;
+  s.no = l.no;
+  s.kr = l.k;
+  s.kc = l.k;
+  s.ri = l.out_hw + l.k - 1;
+  s.ci = l.out_hw + l.k - 1;
+  return s;
+}
+
+std::vector<LayerDef> distinct(const std::vector<LayerDef>& layers) {
+  std::vector<LayerDef> out;
+  for (const LayerDef& l : layers) {
+    bool seen = false;
+    for (const LayerDef& o : out)
+      seen = seen || (o.ni == l.ni && o.no == l.no && o.out_hw == l.out_hw &&
+                      o.k == l.k);
+    if (!seen) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace swatop::nets

@@ -1,0 +1,32 @@
+// Convolution layer tables of the three CNNs the paper evaluates on
+// (VGG16, ResNet, YOLO). Shapes are the stride-1 convolutions with inputs
+// already padded ('same' padding materialized), so ro = ri - kr + 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ops/conv_common.hpp"
+
+namespace swatop::nets {
+
+struct LayerDef {
+  std::string name;
+  std::int64_t ni = 0;
+  std::int64_t no = 0;
+  std::int64_t out_hw = 0;  ///< square output spatial size
+  std::int64_t k = 3;       ///< square kernel size
+};
+
+std::vector<LayerDef> vgg16();
+std::vector<LayerDef> resnet();
+std::vector<LayerDef> yolo();
+
+/// Instantiate a layer at a batch size.
+ops::ConvShape to_shape(const LayerDef& l, std::int64_t batch);
+
+/// Layers with distinct (ni, no, out_hw, k) only, keeping first names.
+std::vector<LayerDef> distinct(const std::vector<LayerDef>& layers);
+
+}  // namespace swatop::nets

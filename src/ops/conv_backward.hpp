@@ -1,0 +1,84 @@
+// Training-direction convolutions, tensorized the same way the forward
+// implicit-GEMM design is (an extension beyond the paper's evaluation; the
+// swDNN library the paper compares against exists for exactly these
+// training workloads).
+//
+// Backward-data:   dIn[ri][ni][ci][b]  = sum_{kr,kc,no}
+//                      dOutPad[ri+kr][no][ci+kc][b] * W[Kr-1-kr][Kc-1-kc][ni][no]
+//   -- a full correlation with flipped filters and swapped channel roles,
+//   implemented on a zero-padded gradient tensor so every GEMM is regular.
+//
+// Backward-filter: dW[kr][kc][ni][no] = sum_{b,ro,co}
+//                      in[ro+kr][ni][co+kc][b] * dOut[ro][no][co][b]
+//   -- per (kr, kc) a GEMM whose *reduction* dimension is the fused
+//   (co, b) range swept by outer reduction loops over ro and column tiles.
+//
+// Tensor layouts match the forward operator: activations/gradients are
+// [r][channel][c][b], filters are [kr][kc][ni][no].
+#pragma once
+
+#include "dsl/dsl.hpp"
+#include "ops/conv_common.hpp"
+
+namespace swatop::ops {
+
+/// Gradient w.r.t. the input. The bound tensor "dout_pad" is the output
+/// gradient zero-padded by (kr-1, kc-1) on each spatial border (the fill
+/// hook materializes it from a dense gradient).
+class ConvBwdDataOp : public dsl::OperatorDef {
+ public:
+  explicit ConvBwdDataOp(const ConvShape& shape);
+
+  static bool applicable(const ConvShape& s) { return s.no >= 32; }
+
+  std::string name() const override;
+  dsl::ScheduleSpace space() const override;
+  ir::StmtPtr lower(const dsl::Strategy& s) const override;
+  std::vector<dsl::TensorSpec> tensors() const override;
+  std::int64_t flops() const override { return shape_.flops(); }
+  void fill_inputs(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                   const dsl::Strategy& s) const override;
+  double check_output(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                      const dsl::Strategy& s) const override;
+
+  const ConvShape& shape() const { return shape_; }
+  /// Padded gradient spatial dims.
+  std::int64_t rp() const { return shape_.ro() + 2 * (shape_.kr - 1); }
+  std::int64_t cp() const { return shape_.co() + 2 * (shape_.kc - 1); }
+
+ private:
+  ConvShape shape_;
+};
+
+/// Gradient w.r.t. the filter.
+class ConvBwdFilterOp : public dsl::OperatorDef {
+ public:
+  explicit ConvBwdFilterOp(const ConvShape& shape);
+
+  static bool applicable(const ConvShape& s) {
+    return s.ni >= 32 && s.no >= 32;
+  }
+
+  std::string name() const override;
+  dsl::ScheduleSpace space() const override;
+  ir::StmtPtr lower(const dsl::Strategy& s) const override;
+  std::vector<dsl::TensorSpec> tensors() const override;
+  std::int64_t flops() const override { return shape_.flops(); }
+  void fill_inputs(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                   const dsl::Strategy& s) const override;
+  double check_output(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                      const dsl::Strategy& s) const override;
+
+  const ConvShape& shape() const { return shape_; }
+
+ private:
+  ConvShape shape_;
+};
+
+/// Naive references (layouts as above; dout dense, not padded).
+void reference_conv_bwd_data(const float* dout, const float* w, float* din,
+                             const ConvShape& s);
+void reference_conv_bwd_filter(const float* in, const float* dout, float* dw,
+                               const ConvShape& s);
+
+}  // namespace swatop::ops

@@ -1,0 +1,50 @@
+// Explicit-GEMM convolution (Fig. 2 left): im2col expands the input into a
+// column matrix, the convolution becomes one large GEMM
+//   outmat (No x B*Ro*Co) = wmat (No x Ni*Kr*Kc) x dcol (Ni*Kr*Kc x B*Ro*Co),
+// and the result is re-laid out into the canonical output tensor. The GEMM
+// core reuses the matmul schedule space; the im2col / re-layout passes are
+// priced separately (they are what caps this method's efficiency in Fig. 8).
+#pragma once
+
+#include "dsl/dsl.hpp"
+#include "ops/conv_common.hpp"
+#include "ops/matmul.hpp"
+
+namespace swatop::ops {
+
+class ExplicitConvOp : public MatmulOp {
+ public:
+  explicit ExplicitConvOp(const ConvShape& shape);
+
+  static bool applicable(const ConvShape&) { return true; }
+
+  std::string name() const override;
+  /// Direct-convolution flops equal the GEMM flops here, but keep the
+  /// canonical definition for efficiency reporting.
+  std::int64_t flops() const override { return shape_.flops(); }
+
+  void fill_inputs(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                   const dsl::Strategy& s) const override;
+  double check_output(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                      const dsl::Strategy& s) const override;
+
+  const ConvShape& shape() const { return shape_; }
+
+  /// im2col + output re-layout cycles (the pre/post passes around the
+  /// tuned GEMM), charged to `cg`'s clock.
+  static void charge_pre_post(sim::CoreGroup& cg, const ConvShape& s);
+
+  /// Convenience: pre/post cycles on a scratch clock.
+  static double pre_post_cycles(const ConvShape& s,
+                                const sim::SimConfig& cfg);
+
+  /// Functional im2col: expand `in` ([ri][ni][ci][b]) into `dcol`
+  /// (column-major Ni*Kr*Kc x B*Ro*Co), host-side loops on the arena.
+  static void im2col(sim::CoreGroup& cg, sim::MainMemory::Addr in,
+                     sim::MainMemory::Addr dcol, const ConvShape& s);
+
+ private:
+  ConvShape shape_;
+};
+
+}  // namespace swatop::ops

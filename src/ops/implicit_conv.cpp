@@ -1,0 +1,204 @@
+#include "ops/implicit_conv.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "isa/kernel_gen.hpp"
+#include "ops/matmul.hpp"
+#include "ops/reference.hpp"
+#include "ops/tensor.hpp"
+#include "sched/lower.hpp"
+
+namespace swatop::ops {
+
+namespace ir = swatop::ir;
+
+ImplicitConvOp::ImplicitConvOp(const ConvShape& shape) : shape_(shape) {
+  SWATOP_CHECK(shape.ro() > 0 && shape.co() > 0)
+      << "kernel larger than input: " << shape.to_string();
+}
+
+std::string ImplicitConvOp::name() const {
+  return "implicit_conv[" + shape_.to_string() + "]";
+}
+
+dsl::ScheduleSpace ImplicitConvOp::space() const {
+  const std::int64_t B = shape_.batch;
+  dsl::ScheduleSpace sp;
+  sp.add(dsl::FactorVar{
+      "Tno", MatmulOp::tile_candidates(shape_.no, 32, {32, 64, 128, 256})});
+  sp.add(dsl::FactorVar{
+      "Tni", MatmulOp::tile_candidates(shape_.ni, 32, {32, 64, 128})});
+  // Output-column fusion factor: the GEMM N dim is Tco * B; keep candidates
+  // whose padded N satisfies the mesh constraint. A strided convolution
+  // cannot fuse output columns (consecutive co values are `stride * B`
+  // apart in the input, breaking the affine fused view), so Tco = 1.
+  std::vector<std::int64_t> tco;
+  const auto menu = shape_.stride == 1
+                        ? std::vector<std::int64_t>{1, 2, 4, 8, 16, 32, 64}
+                        : std::vector<std::int64_t>{1};
+  for (std::int64_t f : menu) {
+    if (f > align_up(shape_.co(), 8)) continue;
+    if ((f * B) % 8 != 0) continue;
+    tco.push_back(f);
+  }
+  if (tco.empty() && shape_.stride == 1)
+    tco.push_back(align_up(shape_.co(), 8));
+  if (tco.empty()) tco.push_back(1);
+  sp.add(dsl::FactorVar{"Tco", tco});
+  sp.add(dsl::ChoiceVar{"wlayout", {"no_major", "ni_major"}});
+  sp.add(dsl::ChoiceVar{"order",
+                        {"rcouvi", "rcoiuv", "rcuvio", "rouvci"}});
+  sp.add(dsl::ChoiceVar{"variant",
+                        {"0", "1", "2", "3", "4", "5", "6", "7"}});
+  sp.add(dsl::ChoiceVar{"boundary", {"pad", "switch"}});
+  return sp;
+}
+
+ir::StmtPtr ImplicitConvOp::lower(const dsl::Strategy& s) const {
+  const std::int64_t B = shape_.batch, Ni = shape_.ni, No = shape_.no;
+  const std::int64_t Ci = shape_.ci, Kr = shape_.kr, Kc = shape_.kc;
+  const std::int64_t Ro = shape_.ro(), Co = shape_.co();
+  const std::int64_t S = shape_.stride;
+  if (S != 1 && s.factor("Tco") != 1) return nullptr;
+
+  const std::int64_t Tno = s.factor("Tno");
+  const std::int64_t Tni = s.factor("Tni");
+  const std::int64_t Tco = s.factor("Tco");
+  const int variant = std::stoi(s.choice("variant"));
+  const bool vec_m = isa::KernelVariant::from_index(variant).vec ==
+                     isa::VecDim::M;
+  const bool switch_mode = s.choice("boundary") == "switch";
+  const bool ni_major = s.choice("wlayout") == "ni_major";
+
+  // Padded N must satisfy the primitive constraints up front.
+  const std::int64_t Npad = Tco * B;
+  if (Npad % 8 != 0) return nullptr;
+  if (!vec_m && (Npad / 8) % 4 != 0) return nullptr;
+
+  const opt::TiledDim dno = opt::make_tiled("o_o", No, Tno);
+  const opt::TiledDim dni = opt::make_tiled("i_o", Ni, Tni);
+  const opt::TiledDim dco = opt::make_tiled("c_o", Co, Tco);
+
+  if (switch_mode) {
+    if (!dno.ragged && !dni.ragged && !dco.ragged) return nullptr;
+    if (!opt::switch_legal(dno, 8, vec_m ? 4 : 1)) return nullptr;
+    if (!opt::switch_legal(dni, 8, 1)) return nullptr;
+    if (dco.ragged) {
+      const std::int64_t nr = dco.remainder() * B;
+      if (nr % 8 != 0) return nullptr;
+      if (!vec_m && (nr / 8) % 4 != 0) return nullptr;
+    }
+  }
+
+  // Strides of the fixed layouts.
+  const std::int64_t in_ni = Ci * B, in_ri = Ni * Ci * B;
+  const std::int64_t w_no = ni_major ? Ni : 1;
+  const std::int64_t w_ni = ni_major ? 1 : No;
+  const std::int64_t w_kc = Ni * No, w_kr = Kc * Ni * No;
+  const std::int64_t out_no = Co * B, out_ro = No * Co * B;
+
+  ir::GemmAttrs g;
+  g.variant = variant;
+  g.M = switch_mode ? dno.valid() : ir::cst(Tno);
+  g.K = switch_mode ? dni.valid() : ir::cst(Tni);
+  g.N = switch_mode ? ir::mul(dco.valid(), ir::cst(B)) : ir::cst(Npad);
+
+  const ir::Expr u = ir::var("u"), v = ir::var("v"), r = ir::var("r");
+
+  // A: weight slice, rows = no, cols = ni.
+  g.a = {"w",
+         ir::add(ir::add(ir::mul(u, ir::cst(w_kr)), ir::mul(v, ir::cst(w_kc))),
+                 ir::add(ir::mul(dno.base(), ir::cst(w_no)),
+                         ir::mul(dni.base(), ir::cst(w_ni)))),
+         w_no, w_ni, dno.valid(), dni.valid()};
+  // B: input slice, rows = ni (stride Ci*B), cols = fused (co, b), stride 1.
+  // The input position is (r*S + u, co*S + v); column fusion is only legal
+  // at S = 1 (elsewhere Tco = 1, so the fused range is just the batch).
+  g.b = {"in",
+         ir::add(ir::add(ir::mul(ir::add(ir::mul(r, ir::cst(S)), u),
+                                 ir::cst(in_ri)),
+                         ir::mul(dni.base(), ir::cst(in_ni))),
+                 ir::mul(ir::add(ir::mul(dco.base(), ir::cst(S)), v),
+                         ir::cst(B))),
+         in_ni, 1, dni.valid(), ir::mul(dco.valid(), ir::cst(B))};
+  // C: output slice, rows = no (stride Co*B), cols = fused (co, b).
+  g.c = {"out",
+         ir::add(ir::add(ir::mul(r, ir::cst(out_ro)),
+                         ir::mul(dno.base(), ir::cst(out_no))),
+                 ir::mul(dco.base(), ir::cst(B))),
+         out_no, 1, dno.valid(), ir::mul(dco.valid(), ir::cst(B))};
+
+  const std::vector<std::pair<char, sched::LoopSpec>> dims = {
+      {'r', {"r", ir::cst(Ro), false}},
+      {'c', {"c_o", ir::cst(dco.count), false}},
+      {'o', {"o_o", ir::cst(dno.count), false}},
+      {'u', {"u", ir::cst(Kr), true}},
+      {'v', {"v", ir::cst(Kc), true}},
+      {'i', {"i_o", ir::cst(dni.count), true}},
+  };
+  return sched::build_nest(sched::order_loops(s.choice("order"), dims),
+                           ir::make_gemm(g));
+}
+
+std::vector<dsl::TensorSpec> ImplicitConvOp::tensors() const {
+  return {
+      {"in", shape_.ri * shape_.ni * shape_.ci * shape_.batch, false},
+      {"w", shape_.kr * shape_.kc * shape_.ni * shape_.no, false},
+      {"out", shape_.ro() * shape_.no * shape_.co() * shape_.batch, true}};
+}
+
+void ImplicitConvOp::fill_inputs(sim::CoreGroup& cg,
+                                 const dsl::BoundTensors& bt,
+                                 const dsl::Strategy& s) const {
+  const std::int64_t Ni = shape_.ni, No = shape_.no;
+  Prng rng(7);
+  auto in = cg.mem().view(bt.at("in"),
+                          shape_.ri * Ni * shape_.ci * shape_.batch);
+  for (float& x : in) x = rng.next();
+
+  // Weights are generated in the canonical [kr][kc][ni][no] order and
+  // written in the strategy's chosen layout.
+  const bool ni_major = s.choice("wlayout") == "ni_major";
+  auto w = cg.mem().view(bt.at("w"), shape_.kr * shape_.kc * Ni * No);
+  Prng wrng(13);
+  for (std::int64_t kr = 0; kr < shape_.kr; ++kr) {
+    for (std::int64_t kc = 0; kc < shape_.kc; ++kc) {
+      for (std::int64_t ni = 0; ni < Ni; ++ni) {
+        for (std::int64_t no = 0; no < No; ++no) {
+          const float val = wrng.next();
+          const std::int64_t base = (kr * shape_.kc + kc) * Ni * No;
+          const std::int64_t off =
+              ni_major ? base + no * Ni + ni : base + ni * No + no;
+          w[static_cast<std::size_t>(off)] = val;
+        }
+      }
+    }
+  }
+}
+
+double ImplicitConvOp::check_output(sim::CoreGroup& cg,
+                                    const dsl::BoundTensors& bt,
+                                    const dsl::Strategy&) const {
+  const std::int64_t Ni = shape_.ni, No = shape_.no;
+  // Regenerate the canonical host inputs from the same seeds.
+  std::vector<float> in(static_cast<std::size_t>(shape_.ri * Ni * shape_.ci *
+                                                 shape_.batch));
+  Prng rng(7);
+  for (float& x : in) x = rng.next();
+  std::vector<float> w(static_cast<std::size_t>(shape_.kr * shape_.kc * Ni *
+                                                No));
+  Prng wrng(13);
+  for (float& x : w) x = wrng.next();
+
+  std::vector<float> ref(static_cast<std::size_t>(
+      shape_.ro() * No * shape_.co() * shape_.batch));
+  reference_conv(in.data(), w.data(), ref.data(), shape_);
+  auto got = cg.mem().view(bt.at("out"),
+                           static_cast<std::int64_t>(ref.size()));
+  return max_abs_diff(got.data(), ref.data(),
+                      static_cast<std::int64_t>(ref.size()));
+}
+
+}  // namespace swatop::ops

@@ -1,0 +1,56 @@
+#include "ops/reference.hpp"
+
+#include <sstream>
+
+namespace swatop::ops {
+
+std::string ConvShape::to_string() const {
+  std::ostringstream os;
+  os << "B=" << batch << " Ni=" << ni << " No=" << no << " " << ri << "x"
+     << ci << " k" << kr << "x" << kc;
+  if (stride != 1) os << " s" << stride;
+  return os.str();
+}
+
+void reference_gemm(const float* A, const float* B, float* C, std::int64_t M,
+                    std::int64_t N, std::int64_t K) {
+  for (std::int64_t j = 0; j < N; ++j) {
+    for (std::int64_t i = 0; i < M; ++i) {
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < K; ++k)
+        acc += A[i + k * M] * B[k + j * K];
+      C[i + j * M] = acc;
+    }
+  }
+}
+
+void reference_conv(const float* in, const float* w, float* out,
+                    const ConvShape& s) {
+  const std::int64_t B = s.batch, Ni = s.ni, No = s.no, Ci = s.ci;
+  const std::int64_t Ro = s.ro(), Co = s.co();
+  auto in_at = [&](std::int64_t ri, std::int64_t ni, std::int64_t ci,
+                   std::int64_t b) {
+    return in[((ri * Ni + ni) * Ci + ci) * B + b];
+  };
+  auto w_at = [&](std::int64_t kr, std::int64_t kc, std::int64_t ni,
+                  std::int64_t no) {
+    return w[((kr * s.kc + kc) * Ni + ni) * No + no];
+  };
+  for (std::int64_t ro = 0; ro < Ro; ++ro) {
+    for (std::int64_t no = 0; no < No; ++no) {
+      for (std::int64_t co = 0; co < Co; ++co) {
+        for (std::int64_t b = 0; b < B; ++b) {
+          float acc = 0.0f;
+          for (std::int64_t kr = 0; kr < s.kr; ++kr)
+            for (std::int64_t kc = 0; kc < s.kc; ++kc)
+              for (std::int64_t ni = 0; ni < Ni; ++ni)
+                acc += in_at(ro * s.stride + kr, ni, co * s.stride + kc, b) *
+                       w_at(kr, kc, ni, no);
+          out[((ro * No + no) * Co + co) * B + b] = acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace swatop::ops

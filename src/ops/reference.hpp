@@ -1,0 +1,23 @@
+// Naive reference implementations (the MAC nest of Alg. 1) used to validate
+// every tensorized schedule functionally.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/conv_common.hpp"
+
+namespace swatop::ops {
+
+/// C = A x B, all column-major with leading dims = rows.
+/// A is M x K, B is K x N, C is M x N.
+void reference_gemm(const float* A, const float* B, float* C, std::int64_t M,
+                    std::int64_t N, std::int64_t K);
+
+/// Direct convolution. Layouts match the swATOP operator tensors:
+///   in  [ri][ni][ci][b]   (channel-major, batch innermost)
+///   w   [kr][kc][ni][no]  (output channel innermost)
+///   out [ro][no][co][b]
+void reference_conv(const float* in, const float* w, float* out,
+                    const ConvShape& s);
+
+}  // namespace swatop::ops

@@ -1,0 +1,390 @@
+#include "ops/winograd.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "isa/kernel_gen.hpp"
+#include "ops/matmul.hpp"
+#include "ops/reference.hpp"
+#include "ops/tensor.hpp"
+#include "sched/lower.hpp"
+
+namespace swatop::ops {
+
+namespace ir = swatop::ir;
+
+namespace {
+
+// Winograd minimal-filtering matrices [Lavin & Gray, CVPR'16].
+// F(2x2, 3x3): 4x4 input tiles, 16 products.
+constexpr double kBT2[4][4] = {
+    {1, 0, -1, 0}, {0, 1, 1, 0}, {0, -1, 1, 0}, {0, 1, 0, -1}};
+constexpr double kG2[4][3] = {
+    {1, 0, 0}, {0.5, 0.5, 0.5}, {0.5, -0.5, 0.5}, {0, 0, 1}};
+constexpr double kAT2[2][4] = {{1, 1, 1, 0}, {0, 1, -1, -1}};
+
+// F(4x4, 3x3): 6x6 input tiles, 36 products.
+constexpr double kBT4[6][6] = {
+    {4, 0, -5, 0, 1, 0},  {0, -4, -4, 1, 1, 0}, {0, 4, -4, -1, 1, 0},
+    {0, -2, -1, 2, 1, 0}, {0, 2, -1, -2, 1, 0}, {0, 4, 0, -5, 0, 1}};
+constexpr double kG4[6][3] = {
+    {1.0 / 4, 0, 0},
+    {-1.0 / 6, -1.0 / 6, -1.0 / 6},
+    {-1.0 / 6, 1.0 / 6, -1.0 / 6},
+    {1.0 / 24, 1.0 / 12, 1.0 / 6},
+    {1.0 / 24, -1.0 / 12, 1.0 / 6},
+    {0, 0, 1}};
+constexpr double kAT4[4][6] = {{1, 1, 1, 1, 1, 0},
+                               {0, 1, -1, 2, -2, 0},
+                               {0, 1, 1, 4, 4, 0},
+                               {0, 1, -1, 8, -8, 1}};
+
+/// Row-major view of the transform matrices for a plan.
+struct Matrices {
+  const double* bt;  ///< tile x tile
+  const double* g;   ///< tile x 3
+  const double* at;  ///< m x tile
+};
+
+Matrices matrices_for(std::int64_t m) {
+  if (m == 2) return {&kBT2[0][0], &kG2[0][0], &kAT2[0][0]};
+  SWATOP_CHECK(m == 4) << "Winograd output tile must be 2 or 4, got " << m;
+  return {&kBT4[0][0], &kG4[0][0], &kAT4[0][0]};
+}
+
+/// out(rows_a x cols_b) = A(rows_a x inner) * B(inner x cols_b), row-major.
+void matmul_rm(const double* A, const double* B, double* out,
+               std::int64_t rows_a, std::int64_t inner,
+               std::int64_t cols_b) {
+  for (std::int64_t i = 0; i < rows_a; ++i) {
+    for (std::int64_t j = 0; j < cols_b; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < inner; ++k)
+        acc += A[i * inner + k] * B[k * cols_b + j];
+      out[i * cols_b + j] = acc;
+    }
+  }
+}
+
+/// out = A * D * A^T for row-major A (rows x cols) and D (cols x cols).
+void sandwich(const double* A, const double* D, double* out,
+              std::int64_t rows, std::int64_t cols) {
+  std::vector<double> tmp(static_cast<std::size_t>(rows * cols));
+  matmul_rm(A, D, tmp.data(), rows, cols, cols);  // tmp = A * D
+  // out = tmp * A^T: out[i][j] = sum_k tmp[i][k] * A[j][k].
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < rows; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < cols; ++k)
+        acc += tmp[static_cast<std::size_t>(i * cols + k)] * A[j * cols + k];
+      out[i * rows + j] = acc;
+    }
+  }
+}
+
+/// Charge a bulk re-layout pass: `read_floats` read and `write_floats`
+/// written through SPM (both in long contiguous runs), plus a compute term
+/// of `flops` spread over the whole cluster.
+void charge_pass(sim::CoreGroup& cg, std::int64_t read_floats,
+                 std::int64_t write_floats, double flops) {
+  const sim::SimConfig& cfg = cg.config();
+  const std::int64_t txn =
+      static_cast<std::int64_t>(cfg.dram_transaction_bytes);
+  sim::DmaCost c;
+  c.latency_cycles = cfg.dma_latency_cycles;
+  c.bytes_requested = (read_floats + write_floats) * 4;
+  c.transactions = ceil_div(read_floats * 4, txn) +
+                   ceil_div(write_floats * 4, txn);
+  c.bytes_wasted = c.transactions * txn - c.bytes_requested;
+  if (c.bytes_wasted < 0) c.bytes_wasted = 0;
+  c.transfer_cycles =
+      static_cast<double>(c.transactions * txn) / cfg.dma_bytes_per_cycle();
+  cg.charge_dma_cost_sync(c);
+  cg.advance_compute(flops / cfg.peak_flops_per_cycle());
+}
+
+}  // namespace
+
+WinogradPlan::WinogradPlan(const ConvShape& s, std::int64_t m_) : shape(s) {
+  SWATOP_CHECK(applicable(s))
+      << "Winograd F(mxm,3x3) not applicable to " << s.to_string();
+  SWATOP_CHECK(m_ == 2 || m_ == 4)
+      << "Winograd output tile must be 2 or 4, got " << m_;
+  m = m_;
+  tiles_r = ceil_div(s.ro(), m);
+  tiles_c = ceil_div(s.co(), m);
+  P = s.batch * tiles_r * tiles_c;
+}
+
+WinogradGemmOp::WinogradGemmOp(const ConvShape& shape, std::int64_t m)
+    : plan_(shape, m) {}
+
+std::string WinogradGemmOp::name() const {
+  return "winograd" + std::to_string(plan_.m) + "_conv[" +
+         plan_.shape.to_string() + "]";
+}
+
+dsl::ScheduleSpace WinogradGemmOp::space() const {
+  dsl::ScheduleSpace sp;
+  sp.add(dsl::FactorVar{"Tm", MatmulOp::tile_candidates(plan_.shape.no, 32,
+                                                        {32, 64, 128})});
+  sp.add(dsl::FactorVar{
+      "Tn", MatmulOp::tile_candidates(plan_.P, 32, {32, 64, 128, 256})});
+  sp.add(dsl::FactorVar{"Tk", MatmulOp::tile_candidates(plan_.shape.ni, 8,
+                                                        {16, 32, 64, 128})});
+  sp.add(dsl::ChoiceVar{"order", {"mnk", "nmk", "mkn"}});
+  sp.add(dsl::ChoiceVar{"variant",
+                        {"0", "1", "2", "3", "4", "5", "6", "7"}});
+  sp.add(dsl::ChoiceVar{"boundary", {"pad", "switch"}});
+  return sp;
+}
+
+ir::StmtPtr WinogradGemmOp::lower(const dsl::Strategy& s) const {
+  const std::int64_t No = plan_.shape.no, Ni = plan_.shape.ni, P = plan_.P;
+  const std::int64_t Tm = s.factor("Tm");
+  const std::int64_t Tn = s.factor("Tn");
+  const std::int64_t Tk = s.factor("Tk");
+  const int variant = std::stoi(s.choice("variant"));
+  const bool vec_m = isa::KernelVariant::from_index(variant).vec ==
+                     isa::VecDim::M;
+  const bool switch_mode = s.choice("boundary") == "switch";
+
+  const opt::TiledDim dm = opt::make_tiled("m_o", No, Tm);
+  const opt::TiledDim dn = opt::make_tiled("n_o", P, Tn);
+  const opt::TiledDim dk = opt::make_tiled("k_o", Ni, Tk);
+  if (switch_mode) {
+    if (!dm.ragged && !dn.ragged && !dk.ragged) return nullptr;
+    if (!opt::switch_legal(dm, 8, vec_m ? 4 : 1)) return nullptr;
+    if (!opt::switch_legal(dn, 8, vec_m ? 1 : 4)) return nullptr;
+    if (!opt::switch_legal(dk, 8, 1)) return nullptr;
+  }
+
+  ir::GemmAttrs g;
+  g.variant = variant;
+  g.M = switch_mode ? dm.valid() : ir::cst(Tm);
+  g.N = switch_mode ? dn.valid() : ir::cst(Tn);
+  g.K = switch_mode ? dk.valid() : ir::cst(Tk);
+
+  const ir::Expr t = ir::var("t");
+  // U: (No x Ni) column-major per t.
+  g.a = {"U",
+         ir::add(ir::mul(t, ir::cst(No * Ni)),
+                 ir::add(dm.base(), ir::mul(dk.base(), ir::cst(No)))),
+         1, No, dm.valid(), dk.valid()};
+  // V: (Ni x P) column-major per t.
+  g.b = {"V",
+         ir::add(ir::mul(t, ir::cst(Ni * P)),
+                 ir::add(dk.base(), ir::mul(dn.base(), ir::cst(Ni)))),
+         1, Ni, dk.valid(), dn.valid()};
+  // Mt: (No x P) column-major per t.
+  g.c = {"Mt",
+         ir::add(ir::mul(t, ir::cst(No * P)),
+                 ir::add(dm.base(), ir::mul(dn.base(), ir::cst(No)))),
+         1, No, dm.valid(), dn.valid()};
+
+  const std::vector<std::pair<char, sched::LoopSpec>> dims = {
+      {'m', {"m_o", ir::cst(dm.count), false}},
+      {'n', {"n_o", ir::cst(dn.count), false}},
+      {'k', {"k_o", ir::cst(dk.count), true}},
+  };
+  std::vector<sched::LoopSpec> loops = {{"t", ir::cst(plan_.T()), false}};
+  for (const auto& l : sched::order_loops(s.choice("order"), dims))
+    loops.push_back(l);
+  return sched::build_nest(loops, ir::make_gemm(g));
+}
+
+std::vector<dsl::TensorSpec> WinogradGemmOp::tensors() const {
+  const std::int64_t No = plan_.shape.no, Ni = plan_.shape.ni, P = plan_.P;
+  const std::int64_t T = plan_.T();
+  return {{"U", T * No * Ni, false},
+          {"V", T * Ni * P, false},
+          {"Mt", T * No * P, true}};
+}
+
+void WinogradGemmOp::charge_pre_post(sim::CoreGroup& cg,
+                                     const WinogradPlan& p) {
+  const ConvShape& s = p.shape;
+  const double T = static_cast<double>(p.T());
+  // Input transform: the overlapping tiles read ~T/(m^2)x the input volume,
+  // write T * Ni * P; two tile x tile sandwiches per channel tile.
+  charge_pass(cg, p.T() * s.ni * p.P, p.T() * s.ni * p.P,
+              static_cast<double>(p.P) * static_cast<double>(s.ni) * 8.0 * T);
+  // Filter transform: small.
+  charge_pass(cg, s.ni * s.no * 9, p.T() * s.ni * s.no,
+              static_cast<double>(s.ni) * static_cast<double>(s.no) * 5.0 *
+                  T);
+  // Inverse transform: read T * No * P, write the output tensor.
+  charge_pass(cg, p.T() * s.no * p.P, s.no * s.ro() * s.co() * s.batch,
+              static_cast<double>(p.P) * static_cast<double>(s.no) * 3.0 * T);
+}
+
+double WinogradGemmOp::pre_post_cycles(const WinogradPlan& p,
+                                       const sim::SimConfig& cfg) {
+  sim::CoreGroup cg(cfg);
+  charge_pre_post(cg, p);
+  return cg.now();
+}
+
+void WinogradGemmOp::transform_input(sim::CoreGroup& cg,
+                                     sim::MainMemory::Addr in,
+                                     sim::MainMemory::Addr V,
+                                     const WinogradPlan& p) {
+  const ConvShape& s = p.shape;
+  const std::int64_t B = s.batch, Ni = s.ni, Ci = s.ci, Ri = s.ri;
+  const std::int64_t tile = p.tile(), T = p.T();
+  const Matrices mats = matrices_for(p.m);
+  std::vector<double> d(static_cast<std::size_t>(tile * tile));
+  std::vector<double> v(static_cast<std::size_t>(tile * tile));
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t tr = 0; tr < p.tiles_r; ++tr) {
+      for (std::int64_t tc = 0; tc < p.tiles_c; ++tc) {
+        const std::int64_t pid = (b * p.tiles_r + tr) * p.tiles_c + tc;
+        for (std::int64_t ni = 0; ni < Ni; ++ni) {
+          for (std::int64_t i = 0; i < tile; ++i) {
+            for (std::int64_t j = 0; j < tile; ++j) {
+              const std::int64_t ri = p.m * tr + i, ci = p.m * tc + j;
+              d[static_cast<std::size_t>(i * tile + j)] =
+                  (ri < Ri && ci < Ci)
+                      ? cg.mem().read(in + ((ri * Ni + ni) * Ci + ci) * B + b)
+                      : 0.0;
+            }
+          }
+          sandwich(mats.bt, d.data(), v.data(), tile, tile);
+          for (std::int64_t t = 0; t < T; ++t)
+            cg.mem().write(V + t * Ni * p.P + ni + pid * Ni,
+                           static_cast<float>(
+                               v[static_cast<std::size_t>(t)]));
+        }
+      }
+    }
+  }
+}
+
+void WinogradGemmOp::transform_filter(sim::CoreGroup& cg,
+                                      sim::MainMemory::Addr w,
+                                      sim::MainMemory::Addr U,
+                                      const WinogradPlan& p) {
+  const ConvShape& s = p.shape;
+  const std::int64_t Ni = s.ni, No = s.no;
+  const std::int64_t tile = p.tile(), T = p.T();
+  const Matrices mats = matrices_for(p.m);
+  std::vector<double> g(9), tmp(static_cast<std::size_t>(tile * 3)),
+      u(static_cast<std::size_t>(tile * tile));
+  for (std::int64_t no = 0; no < No; ++no) {
+    for (std::int64_t ni = 0; ni < Ni; ++ni) {
+      for (int kr = 0; kr < 3; ++kr)
+        for (int kc = 0; kc < 3; ++kc)
+          g[static_cast<std::size_t>(kr * 3 + kc)] =
+              cg.mem().read(w + ((kr * 3 + kc) * Ni + ni) * No + no);
+      matmul_rm(mats.g, g.data(), tmp.data(), tile, 3, 3);  // G * g
+      // u = tmp * G^T.
+      for (std::int64_t i = 0; i < tile; ++i) {
+        for (std::int64_t j = 0; j < tile; ++j) {
+          double acc = 0.0;
+          for (int k = 0; k < 3; ++k)
+            acc += tmp[static_cast<std::size_t>(i * 3 + k)] *
+                   mats.g[j * 3 + k];
+          u[static_cast<std::size_t>(i * tile + j)] = acc;
+        }
+      }
+      for (std::int64_t t = 0; t < T; ++t)
+        cg.mem().write(U + t * No * Ni + no + ni * No,
+                       static_cast<float>(u[static_cast<std::size_t>(t)]));
+    }
+  }
+}
+
+void WinogradGemmOp::inverse_transform(sim::CoreGroup& cg,
+                                       sim::MainMemory::Addr Mt,
+                                       sim::MainMemory::Addr out,
+                                       const WinogradPlan& p) {
+  const ConvShape& s = p.shape;
+  const std::int64_t B = s.batch, No = s.no;
+  const std::int64_t Ro = s.ro(), Co = s.co();
+  const std::int64_t tile = p.tile(), T = p.T(), m = p.m;
+  const Matrices mats = matrices_for(p.m);
+  std::vector<double> mm(static_cast<std::size_t>(T));
+  std::vector<double> tmp(static_cast<std::size_t>(m * tile));
+  std::vector<double> y(static_cast<std::size_t>(m * m));
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t tr = 0; tr < p.tiles_r; ++tr) {
+      for (std::int64_t tc = 0; tc < p.tiles_c; ++tc) {
+        const std::int64_t pid = (b * p.tiles_r + tr) * p.tiles_c + tc;
+        for (std::int64_t no = 0; no < No; ++no) {
+          for (std::int64_t t = 0; t < T; ++t)
+            mm[static_cast<std::size_t>(t)] =
+                cg.mem().read(Mt + t * No * p.P + no + pid * No);
+          matmul_rm(mats.at, mm.data(), tmp.data(), m, tile, tile);
+          // y = tmp * AT^T.
+          for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < m; ++j) {
+              double acc = 0.0;
+              for (std::int64_t k = 0; k < tile; ++k)
+                acc += tmp[static_cast<std::size_t>(i * tile + k)] *
+                       mats.at[j * tile + k];
+              y[static_cast<std::size_t>(i * m + j)] = acc;
+            }
+          }
+          for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < m; ++j) {
+              const std::int64_t ro = m * tr + i, co = m * tc + j;
+              if (ro >= Ro || co >= Co) continue;
+              cg.mem().write(
+                  out + ((ro * No + no) * Co + co) * B + b,
+                  static_cast<float>(y[static_cast<std::size_t>(i * m + j)]));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void WinogradGemmOp::fill_inputs(sim::CoreGroup& cg,
+                                 const dsl::BoundTensors& bt,
+                                 const dsl::Strategy&) const {
+  const ConvShape& s = plan_.shape;
+  std::vector<float> in(static_cast<std::size_t>(s.ri * s.ni * s.ci *
+                                                 s.batch));
+  Prng rng(7);
+  for (float& x : in) x = rng.next();
+  std::vector<float> w(static_cast<std::size_t>(9 * s.ni * s.no));
+  Prng wrng(13);
+  for (float& x : w) x = wrng.next();
+
+  const sim::MainMemory::Addr in_addr =
+      cg.mem().alloc(static_cast<std::int64_t>(in.size()), "in_scratch");
+  cg.mem().copy_in(in_addr, in);
+  const sim::MainMemory::Addr w_addr =
+      cg.mem().alloc(static_cast<std::int64_t>(w.size()), "w_scratch");
+  cg.mem().copy_in(w_addr, w);
+  transform_input(cg, in_addr, bt.at("V"), plan_);
+  transform_filter(cg, w_addr, bt.at("U"), plan_);
+}
+
+double WinogradGemmOp::check_output(sim::CoreGroup& cg,
+                                    const dsl::BoundTensors& bt,
+                                    const dsl::Strategy&) const {
+  const ConvShape& s = plan_.shape;
+  // Inverse-transform the computed Mt and compare against direct conv.
+  const std::int64_t out_floats = s.ro() * s.no * s.co() * s.batch;
+  const sim::MainMemory::Addr out_addr =
+      cg.mem().alloc(out_floats, "wino_out");
+  inverse_transform(cg, bt.at("Mt"), out_addr, plan_);
+
+  std::vector<float> in(static_cast<std::size_t>(s.ri * s.ni * s.ci *
+                                                 s.batch));
+  Prng rng(7);
+  for (float& x : in) x = rng.next();
+  std::vector<float> w(static_cast<std::size_t>(9 * s.ni * s.no));
+  Prng wrng(13);
+  for (float& x : w) x = wrng.next();
+  std::vector<float> ref(static_cast<std::size_t>(out_floats));
+  reference_conv(in.data(), w.data(), ref.data(), s);
+  auto got = cg.mem().view(out_addr, out_floats);
+  return max_abs_diff(got.data(), ref.data(), out_floats);
+}
+
+}  // namespace swatop::ops

@@ -1,0 +1,85 @@
+// Winograd convolution F(2x2, 3x3) (Fig. 2 middle): 4x4 input tiles and the
+// 3x3 filters are transformed, the 16 element-wise products become 16
+// independent GEMMs
+//   M_t (No x P) = U_t (No x Ni) x V_t (Ni x P),   t = 0..15,
+// and the inverse transform produces the 2x2 output tiles. The batched GEMM
+// is the tuned core (an extra non-reduction t loop around a matmul-style
+// schedule space); the transforms are priced pre/post passes.
+#pragma once
+
+#include "dsl/dsl.hpp"
+#include "ops/conv_common.hpp"
+
+namespace swatop::ops {
+
+/// Tiling geometry of F(m x m, 3x3) over a convolution shape; m = 2 is the
+/// paper's 16-multiplication design, m = 4 the 36-multiplication F(4x4)
+/// variant with a bigger arithmetic saving (and looser fp32 accuracy).
+struct WinogradPlan {
+  ConvShape shape;
+  std::int64_t m = 2;        ///< output tile size (2 or 4)
+  std::int64_t tiles_r = 0;  ///< output tile rows (ceil(Ro / m))
+  std::int64_t tiles_c = 0;
+  std::int64_t P = 0;  ///< batch * tiles_r * tiles_c
+
+  explicit WinogradPlan(const ConvShape& s, std::int64_t m = 2);
+
+  /// Input tile edge (m + 2) and GEMM batch count (tile^2).
+  std::int64_t tile() const { return m + 2; }
+  std::int64_t T() const { return tile() * tile(); }
+
+  static bool applicable(const ConvShape& s) {
+    return s.kr == 3 && s.kc == 3 && s.stride == 1 && s.ro() >= 2 &&
+           s.co() >= 2;
+  }
+
+  /// GEMM flops of the T() multiplications (less than the direct-conv
+  /// flops; that gap is Winograd's arithmetic saving).
+  std::int64_t gemm_flops() const {
+    return 2 * T() * shape.no * shape.ni * P;
+  }
+};
+
+/// The tuned batched-GEMM core.
+class WinogradGemmOp : public dsl::OperatorDef {
+ public:
+  explicit WinogradGemmOp(const ConvShape& shape, std::int64_t m = 2);
+
+  std::string name() const override;
+  dsl::ScheduleSpace space() const override;
+  ir::StmtPtr lower(const dsl::Strategy& s) const override;
+  std::vector<dsl::TensorSpec> tensors() const override;
+  /// Reported against the direct-convolution flop count (Fig. 8's > 100%
+  /// efficiencies come from exactly this convention).
+  std::int64_t flops() const override { return plan_.shape.flops(); }
+  void fill_inputs(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                   const dsl::Strategy& s) const override;
+  double check_output(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
+                      const dsl::Strategy& s) const override;
+
+  const WinogradPlan& plan() const { return plan_; }
+
+  /// Charge the input/filter transform (pre) and inverse transform (post)
+  /// costs to a core group's clock.
+  static void charge_pre_post(sim::CoreGroup& cg, const WinogradPlan& p);
+  static double pre_post_cycles(const WinogradPlan& p,
+                                const sim::SimConfig& cfg);
+
+  // Functional transforms (host loops over the arena), used by tests and
+  // the fill/check hooks, for both F(2x2) and F(4x4). Layouts: in
+  // [ri][ni][ci][b]; U [t][ni][no] (column-major No x Ni per t); V
+  // [t][p][ni] (column-major Ni x P per t); Mt [t][p][no] (column-major
+  // No x P per t); out [ro][no][co][b].
+  static void transform_input(sim::CoreGroup& cg, sim::MainMemory::Addr in,
+                              sim::MainMemory::Addr V, const WinogradPlan& p);
+  static void transform_filter(sim::CoreGroup& cg, sim::MainMemory::Addr w,
+                               sim::MainMemory::Addr U, const WinogradPlan& p);
+  static void inverse_transform(sim::CoreGroup& cg, sim::MainMemory::Addr Mt,
+                                sim::MainMemory::Addr out,
+                                const WinogradPlan& p);
+
+ private:
+  WinogradPlan plan_;
+};
+
+}  // namespace swatop::ops

@@ -1,0 +1,38 @@
+#include "opt/coalesce.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "ir/analysis.hpp"
+#include "ir/mutator.hpp"
+
+namespace swatop::opt {
+
+namespace ir = swatop::ir;
+
+std::int64_t coalesce_spm(ir::StmtPtr& root) {
+  SWATOP_CHECK(root != nullptr && root->kind == ir::StmtKind::Seq)
+      << "coalesce_spm expects a Seq root";
+  std::vector<ir::StmtPtr> allocs;
+  std::unordered_set<std::string> names;
+  root = ir::transform(root, [&](ir::StmtPtr s) -> ir::StmtPtr {
+    if (s->kind == ir::StmtKind::SpmAlloc) {
+      SWATOP_CHECK(names.insert(s->buf_name).second)
+          << "duplicate SPM buffer '" << s->buf_name << "'";
+      allocs.push_back(s);
+      return nullptr;  // removed; re-inserted at the top below
+    }
+    return s;
+  });
+  SWATOP_CHECK(root != nullptr && root->kind == ir::StmtKind::Seq);
+  root->body.insert(root->body.begin(), allocs.begin(), allocs.end());
+  return ir::spm_footprint(root);
+}
+
+bool fits_spm(const ir::StmtPtr& root, const sim::SimConfig& cfg,
+              std::int64_t reserve_floats) {
+  return ir::spm_footprint(root) <= cfg.spm_floats() - reserve_floats;
+}
+
+}  // namespace swatop::opt

@@ -1,0 +1,24 @@
+// SPM buffer coalescing: hoist every SPM allocation to the top of the
+// program so the runtime's bump allocator lays all buffers out in one
+// coalesced region (the code generator's memory optimization, Sec. 4.7),
+// and validate the footprint against the 64 KB budget.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/node.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::opt {
+
+/// Move all SpmAlloc nodes to the front of the root Seq (stable order,
+/// duplicates by name rejected). Returns the total per-CPE footprint in
+/// floats, double-buffered allocations counted twice.
+std::int64_t coalesce_spm(ir::StmtPtr& root);
+
+/// True if the program's SPM footprint fits the per-CPE capacity minus a
+/// reserve (stack/runtime slack).
+bool fits_spm(const ir::StmtPtr& root, const sim::SimConfig& cfg,
+              std::int64_t reserve_floats = 512);
+
+}  // namespace swatop::opt

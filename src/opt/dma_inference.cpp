@@ -1,0 +1,270 @@
+#include "opt/dma_inference.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "ir/analysis.hpp"
+#include "isa/kernel_gen.hpp"
+
+namespace swatop::opt {
+
+namespace ir = swatop::ir;
+
+namespace {
+
+/// One level of the loop chain from the root to the gemm: the Seq, the index
+/// of the child leading deeper, and the loop variable that scopes this Seq
+/// (empty at the root).
+struct PathEntry {
+  ir::Stmt* seq;
+  std::size_t child_idx;
+  std::string loop_var;
+  bool reduction = false;  ///< the scoping loop accumulates into the output
+};
+
+bool contains_gemm(const ir::StmtPtr& s) {
+  return ir::contains_kind(s, ir::StmtKind::Gemm);
+}
+
+/// Build the Seq/For chain leading to the unique gemm node. The lowering
+/// emits a strict chain (Seq of [comments..., For [Seq ... ]] ... [gemm]).
+bool build_path(const ir::StmtPtr& root, std::vector<PathEntry>& path,
+                ir::Stmt** gemm_out) {
+  ir::StmtPtr cur = root;
+  std::string scope_var;
+  bool scope_red = false;
+  while (true) {
+    if (cur->kind != ir::StmtKind::Seq) return false;
+    std::optional<std::size_t> hit;
+    for (std::size_t i = 0; i < cur->body.size(); ++i) {
+      if (contains_gemm(cur->body[i])) {
+        if (hit.has_value()) return false;  // more than one gemm path
+        hit = i;
+      }
+    }
+    if (!hit.has_value()) return false;
+    path.push_back({cur.get(), *hit, scope_var, scope_red});
+    const ir::StmtPtr child = cur->body[*hit];
+    if (child->kind == ir::StmtKind::Gemm) {
+      *gemm_out = child.get();
+      return true;
+    }
+    if (child->kind != ir::StmtKind::For) return false;
+    scope_var = child->var;
+    scope_red = child->reduction;
+    // Normalize: For bodies are always Seq after lowering.
+    if (child->for_body->kind != ir::StmtKind::Seq)
+      child->for_body = ir::make_seq({child->for_body});
+    cur = child->for_body;
+  }
+}
+
+/// Deepest path index whose loop variable appears in any of the exprs.
+std::size_t hoist_level(const std::vector<PathEntry>& path,
+                        std::initializer_list<ir::Expr> exprs) {
+  std::size_t level = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    for (const ir::Expr& e : exprs) {
+      if (e != nullptr && ir::uses_var(e, path[i].loop_var)) level = i;
+    }
+  }
+  return level;
+}
+
+/// Padded (tile) value of a gemm dim: its value with every loop variable at
+/// zero, where boundary min() expressions take their full-tile value.
+std::int64_t padded_dim(const ir::Expr& e,
+                        const std::vector<PathEntry>& path) {
+  ir::Env env;
+  for (const PathEntry& p : path)
+    if (!p.loop_var.empty()) env[p.loop_var] = 0;
+  return ir::eval(e, env);
+}
+
+struct OperandPlan {
+  ir::DmaAttrs dma;
+  std::string buf;
+  std::int64_t buf_floats = 0;
+  std::size_t level = 0;
+};
+
+/// Build the DMA plan of one operand. `natural` is the view in gemm-dim
+/// orientation (rows = first gemm dim of the operand); `tile_rows/cols` are
+/// the corresponding gemm dim expressions (the tile grid); `col_major` says
+/// whether the kernel variant wants that orientation in SPM; swapping the
+/// view feeds the row-major kernels and flips the mesh distribution.
+OperandPlan plan_operand(const ir::ViewAttrs& natural, bool col_major,
+                         ir::Expr tile_rows, ir::Expr tile_cols,
+                         std::int64_t rows_pad, std::int64_t cols_pad,
+                         const std::string& buf,
+                         const std::vector<PathEntry>& path,
+                         const sim::SimConfig& cfg) {
+  OperandPlan p;
+  ir::ViewAttrs v = natural;
+  ir::Expr rp = std::move(tile_rows), cp = std::move(tile_cols);
+  bool rows_to_rid = true;
+  if (!col_major) {
+    std::swap(v.rows, v.cols);
+    std::swap(v.stride_r, v.stride_c);
+    std::swap(rp, cp);
+    std::swap(rows_pad, cols_pad);
+    rows_to_rid = false;
+  }
+  p.dma.view = v;
+  p.dma.rows_p = rp;
+  p.dma.cols_p = cp;
+  p.dma.spm_buf = buf;
+  p.dma.spm_off = ir::cst(0);
+  p.dma.rows_to_rid = rows_to_rid;
+  p.buf = buf;
+  p.buf_floats =
+      (rows_pad / cfg.mesh_rows) * (cols_pad / cfg.mesh_cols);
+  p.level = hoist_level(path, {v.base, v.rows, v.cols, p.dma.rows_p,
+                               p.dma.cols_p});
+  return p;
+}
+
+/// True when the view may move fewer elements than the tile grid at some
+/// iteration (lightweight-padding boundary), requiring a zero-fill before
+/// the get. Under parameter switching the grid shrinks with the valid
+/// region (the grid dims are non-constant), so no zeroing is needed.
+bool needs_zero(const ir::DmaAttrs& d) {
+  if (!ir::is_const(d.rows_p) || !ir::is_const(d.cols_p)) return false;
+  const bool rows_full =
+      ir::is_const(d.view.rows) &&
+      ir::as_cst(d.view.rows) == ir::as_cst(d.rows_p);
+  const bool cols_full =
+      ir::is_const(d.view.cols) &&
+      ir::as_cst(d.view.cols) == ir::as_cst(d.cols_p);
+  return !(rows_full && cols_full);
+}
+
+/// Guard condition: this iteration's tile is partial.
+ir::Expr partial_cond(const ir::DmaAttrs& d) {
+  return ir::add(ir::lt(d.view.rows, d.rows_p),
+                 ir::lt(d.view.cols, d.cols_p));
+}
+
+}  // namespace
+
+bool infer_dma(ir::StmtPtr& root, const sim::SimConfig& cfg) {
+  std::vector<PathEntry> path;
+  ir::Stmt* gemm = nullptr;
+  SWATOP_CHECK(build_path(root, path, &gemm))
+      << "DMA inference expects a single-gemm loop chain";
+  ir::GemmAttrs& g = gemm->gemm;
+  SWATOP_CHECK(g.a_buf.empty()) << "DMA inference ran twice";
+
+  const auto variant = isa::KernelVariant::from_index(g.variant);
+  const std::int64_t Mp = padded_dim(g.M, path);
+  const std::int64_t Np = padded_dim(g.N, path);
+  const std::int64_t Kp = padded_dim(g.K, path);
+
+  // Primitive validity of the padded tile.
+  if (Mp % cfg.mesh_rows != 0 || Np % cfg.mesh_cols != 0 ||
+      Kp % cfg.mesh_rows != 0)
+    return false;
+  const std::int64_t vec_local = variant.vec == isa::VecDim::M
+                                     ? Mp / cfg.mesh_rows
+                                     : Np / cfg.mesh_cols;
+  if (vec_local % cfg.vector_width != 0) return false;
+
+  OperandPlan pa = plan_operand(g.a, variant.a_col_major, g.M, g.K, Mp, Kp,
+                                "spm_A", path, cfg);
+  OperandPlan pb = plan_operand(g.b, variant.b_col_major, g.K, g.N, Kp, Np,
+                                "spm_B", path, cfg);
+  OperandPlan pc = plan_operand(g.c, variant.vec == isa::VecDim::M, g.M, g.N,
+                                Mp, Np, "spm_C", path, cfg);
+
+  // Reply slots: one per operand stream.
+  pa.dma.reply = ir::cst(0);
+  pb.dma.reply = ir::cst(1);
+  pc.dma.reply = ir::cst(2);
+  pa.dma.dir = ir::Direction::MemToSpm;
+  pb.dma.dir = ir::Direction::MemToSpm;
+  pc.dma.dir = ir::Direction::SpmToMem;
+
+  // Bind the gemm to the SPM buffers.
+  g.a_buf = pa.buf;
+  g.b_buf = pb.buf;
+  g.c_buf = pc.buf;
+  g.a_off = ir::cst(0);
+  g.b_off = ir::cst(0);
+  g.c_off = ir::cst(0);
+
+  // Inject, deepest level first so recorded child indices stay valid; within
+  // one level, inserts before child_idx shift it.
+  auto insert_before = [&](std::size_t level, std::vector<ir::StmtPtr> ns) {
+    ir::Stmt* seq = path[level].seq;
+    seq->body.insert(
+        seq->body.begin() + static_cast<std::ptrdiff_t>(path[level].child_idx),
+        ns.begin(), ns.end());
+    path[level].child_idx += ns.size();
+  };
+  auto insert_after = [&](std::size_t level, std::vector<ir::StmtPtr> ns) {
+    ir::Stmt* seq = path[level].seq;
+    seq->body.insert(seq->body.begin() + static_cast<std::ptrdiff_t>(
+                                             path[level].child_idx + 1),
+                     ns.begin(), ns.end());
+  };
+
+  // Input operands: optional zero-fill guard, then get + wait.
+  for (OperandPlan* p : {&pa, &pb}) {
+    std::vector<ir::StmtPtr> ns;
+    if (needs_zero(p->dma)) {
+      ns.push_back(ir::make_if(
+          partial_cond(p->dma),
+          ir::make_seq({ir::make_spm_zero(p->buf, p->dma.spm_off,
+                                          ir::cst(p->buf_floats))})));
+    }
+    ns.push_back(ir::make_dma(ir::StmtKind::DmaGet, p->dma));
+    ns.push_back(ir::make_dma_wait(p->dma.reply));
+    insert_before(p->level, std::move(ns));
+  }
+
+  // Output operand. Usually every reduction loop sits inside the C tile's
+  // scope: zero the accumulator before, write it back after. When the
+  // schedule places a reduction loop *outside* C's scope, the tile is
+  // revisited once per outer reduction iteration; it must then be re-fetched
+  // (accumulating partial sums from memory) on every pass but the first.
+  std::vector<std::string> outer_reductions;
+  for (std::size_t i = 1; i <= pc.level && i < path.size(); ++i)
+    if (path[i].reduction) outer_reductions.push_back(path[i].loop_var);
+
+  if (outer_reductions.empty()) {
+    insert_before(pc.level,
+                  {ir::make_spm_zero(pc.buf, ir::cst(0),
+                                     ir::cst(pc.buf_floats))});
+  } else {
+    ir::Expr pass_sum = ir::cst(0);
+    for (const std::string& v : outer_reductions)
+      pass_sum = ir::add(pass_sum, ir::var(v));
+    ir::DmaAttrs cget = pc.dma;
+    cget.dir = ir::Direction::MemToSpm;
+    cget.reply = ir::cst(3);
+    insert_before(
+        pc.level,
+        {ir::make_if(
+            ir::lt(pass_sum, ir::cst(1)),
+            ir::make_seq({ir::make_spm_zero(pc.buf, ir::cst(0),
+                                            ir::cst(pc.buf_floats))}),
+            ir::make_seq({ir::make_dma(ir::StmtKind::DmaGet, cget),
+                          ir::make_dma_wait(cget.reply)}))});
+  }
+  insert_after(pc.level, {ir::make_dma(ir::StmtKind::DmaPut, pc.dma),
+                          ir::make_dma_wait(pc.dma.reply)});
+
+  // Allocations at the root, ahead of everything else.
+  std::vector<ir::StmtPtr> allocs = {
+      ir::make_spm_alloc(pa.buf, pa.buf_floats),
+      ir::make_spm_alloc(pb.buf, pb.buf_floats),
+      ir::make_spm_alloc(pc.buf, pc.buf_floats),
+  };
+  path[0].seq->body.insert(path[0].seq->body.begin(), allocs.begin(),
+                           allocs.end());
+  return true;
+}
+
+}  // namespace swatop::opt

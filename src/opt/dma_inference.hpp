@@ -1,0 +1,19 @@
+// DMA inference (Sec. 4.5.1): the DSL never mentions DMA; this pass finds
+// the GEMM node's memory views, decides each operand's SPM tile orientation
+// from the kernel variant, sizes and allocates the SPM buffers, and injects
+// DmaGet/DmaPut/DmaWait (plus boundary zero-fill guards) as far from the
+// gemm_op as legality allows -- i.e. hoisted to the outermost loop level
+// whose variables the operand's address does not use.
+#pragma once
+
+#include "ir/node.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::opt {
+
+/// Run DMA inference in place. Returns false (leaving the IR unusable) when
+/// the gemm's padded tile dims violate the primitive's divisibility
+/// constraints -- the scheduler drops such candidates.
+bool infer_dma(ir::StmtPtr& root, const sim::SimConfig& cfg);
+
+}  // namespace swatop::opt

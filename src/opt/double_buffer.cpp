@@ -1,0 +1,270 @@
+#include "opt/double_buffer.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "ir/analysis.hpp"
+#include "ir/mutator.hpp"
+
+namespace swatop::opt {
+
+namespace ir = swatop::ir;
+
+namespace {
+
+constexpr std::int64_t kPrefetchReplyBase = 100;
+
+/// A DMA get directly inside the target loop body, with its trailing wait
+/// and optional preceding zero-fill guard.
+struct GetGroup {
+  std::size_t zero_idx = SIZE_MAX;  ///< If guard index, SIZE_MAX if none
+  std::size_t get_idx = 0;
+  std::size_t wait_idx = 0;
+};
+
+/// True if `s` is an If whose then-branch zero-fills `buf`.
+bool is_zero_guard_for(const ir::StmtPtr& s, const std::string& buf) {
+  if (s == nullptr || s->kind != ir::StmtKind::If || s->then_s == nullptr)
+    return false;
+  const ir::StmtPtr& t = s->then_s;
+  if (t->kind == ir::StmtKind::SpmZero) return t->buf_name == buf;
+  if (t->kind == ir::StmtKind::Seq && t->body.size() == 1 &&
+      t->body[0]->kind == ir::StmtKind::SpmZero)
+    return t->body[0]->buf_name == buf;
+  return false;
+}
+
+/// A get already rewritten by a previous double-buffering round (its reply
+/// slot was remapped into the prefetch range) must not be transformed again.
+bool already_prefetched(const ir::StmtPtr& get) {
+  return !ir::is_const(get->dma.reply) ||
+         ir::as_cst(get->dma.reply) >= kPrefetchReplyBase;
+}
+
+std::vector<GetGroup> collect_gets(const ir::StmtPtr& body) {
+  std::vector<GetGroup> out;
+  for (std::size_t i = 0; i < body->body.size(); ++i) {
+    if (body->body[i]->kind != ir::StmtKind::DmaGet) continue;
+    if (already_prefetched(body->body[i])) continue;
+    GetGroup g;
+    g.get_idx = i;
+    SWATOP_CHECK(i + 1 < body->body.size() &&
+                 body->body[i + 1]->kind == ir::StmtKind::DmaWait)
+        << "DMA get without trailing wait";
+    g.wait_idx = i + 1;
+    if (i > 0 &&
+        is_zero_guard_for(body->body[i - 1], body->body[i]->dma.spm_buf))
+      g.zero_idx = i - 1;
+    out.push_back(g);
+  }
+  return out;
+}
+
+/// Substitute `v -> repl` through all expressions of a statement subtree.
+void subst_stmt(const ir::StmtPtr& s, const std::string& v,
+                const ir::Expr& repl) {
+  ir::visit(s, [&](const ir::StmtPtr& n) {
+    auto sub = [&](ir::Expr& e) {
+      if (e != nullptr) e = ir::substitute(e, v, repl);
+    };
+    sub(n->extent);
+    sub(n->cond);
+    sub(n->zero_off);
+    sub(n->zero_floats);
+    sub(n->dma.view.base);
+    sub(n->dma.view.rows);
+    sub(n->dma.view.cols);
+    sub(n->dma.rows_p);
+    sub(n->dma.cols_p);
+    sub(n->dma.spm_off);
+    sub(n->dma.reply);
+    sub(n->wait_reply);
+    sub(n->gemm.M);
+    sub(n->gemm.N);
+    sub(n->gemm.K);
+    sub(n->gemm.a_off);
+    sub(n->gemm.b_off);
+    sub(n->gemm.c_off);
+  });
+}
+
+/// Find the deepest For whose direct body contains a DmaGet; returns the
+/// parent Seq and child index, or false.
+bool find_target(const ir::StmtPtr& s, ir::Stmt** parent_seq,
+                 std::size_t* idx) {
+  bool found = false;
+  std::function<void(const ir::StmtPtr&)> rec = [&](const ir::StmtPtr& n) {
+    if (n == nullptr) return;
+    if (n->kind == ir::StmtKind::Seq) {
+      for (std::size_t i = 0; i < n->body.size(); ++i) {
+        const ir::StmtPtr& c = n->body[i];
+        if (c->kind == ir::StmtKind::For) {
+          // Depth-first: deeper matches overwrite shallower ones.
+          const ir::StmtPtr& b = c->for_body;
+          bool direct = false;
+          if (b->kind == ir::StmtKind::Seq) {
+            for (const ir::StmtPtr& bc : b->body)
+              direct = direct || (bc->kind == ir::StmtKind::DmaGet &&
+                                  !already_prefetched(bc));
+          }
+          if (direct) {
+            *parent_seq = n.get();
+            *idx = i;
+            found = true;
+          }
+          rec(b);
+        } else {
+          rec(c);
+        }
+      }
+    } else {
+      for (const ir::StmtPtr& c : n->body) rec(c);
+      rec(n->for_body);
+      rec(n->then_s);
+      rec(n->else_s);
+    }
+  };
+  rec(s);
+  return found;
+}
+
+ir::Stmt* find_alloc(const ir::StmtPtr& root, const std::string& buf) {
+  ir::Stmt* out = nullptr;
+  ir::visit(root, [&](const ir::StmtPtr& n) {
+    if (n->kind == ir::StmtKind::SpmAlloc && n->buf_name == buf)
+      out = n.get();
+  });
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+bool apply_one(ir::StmtPtr& root) {
+  ir::Stmt* parent = nullptr;
+  std::size_t loop_idx = 0;
+  if (!find_target(root, &parent, &loop_idx)) return false;
+
+  const ir::StmtPtr loop = parent->body[loop_idx];
+  const std::string v = loop->var;
+  const ir::Expr extent = loop->extent;
+  ir::StmtPtr body = loop->for_body;
+  SWATOP_CHECK(body->kind == ir::StmtKind::Seq);
+
+  const std::vector<GetGroup> groups = collect_gets(body);
+  SWATOP_CHECK(!groups.empty());
+
+  const ir::Expr parity_cur = ir::mod(ir::var(v), ir::cst(2));
+  const ir::Expr vnext = ir::add(ir::var(v), ir::cst(1));
+  const ir::Expr parity_next = ir::mod(vnext, ir::cst(2));
+
+  std::vector<ir::StmtPtr> prologue;      // before the loop
+  std::vector<ir::StmtPtr> new_head;      // start of the new body
+  std::vector<bool> remove(body->body.size(), false);
+  std::vector<std::string> db_bufs;
+
+  for (const GetGroup& g : groups) {
+    const ir::StmtPtr get = body->body[g.get_idx];
+    const std::string buf = get->dma.spm_buf;
+    ir::Stmt* alloc = find_alloc(root, buf);
+    SWATOP_CHECK(alloc != nullptr) << "no SPM alloc for '" << buf << "'";
+    alloc->double_buffered = true;
+    const std::int64_t half = align_up(alloc->buf_floats, 8);
+    const std::int64_t slot = ir::as_cst(get->dma.reply);
+    const ir::Expr reply_cur =
+        ir::add(ir::cst(kPrefetchReplyBase + 2 * slot), parity_cur);
+    const ir::Expr reply_next =
+        ir::add(ir::cst(kPrefetchReplyBase + 2 * slot), parity_next);
+    db_bufs.push_back(buf);
+
+    // Prologue: the iteration-0 transfer into half 0.
+    {
+      ir::StmtPtr pg = ir::deep_copy(get);
+      pg->dma.spm_off = ir::cst(0);
+      pg->dma.reply = ir::cst(kPrefetchReplyBase + 2 * slot);
+      subst_stmt(pg, v, ir::cst(0));
+      if (g.zero_idx != SIZE_MAX) {
+        ir::StmtPtr z = ir::deep_copy(body->body[g.zero_idx]);
+        subst_stmt(z, v, ir::cst(0));
+        prologue.push_back(std::move(z));
+      }
+      prologue.push_back(std::move(pg));
+    }
+
+    // In-loop: prefetch of iteration v+1 into the other half. Substitute
+    // the loop variable through the copied addresses *before* installing
+    // the parity expressions (which reference the un-substituted v).
+    {
+      ir::StmtPtr pf = ir::deep_copy(get);
+      subst_stmt(pf, v, vnext);
+      pf->dma.spm_off = ir::mul(parity_next, ir::cst(half));
+      pf->dma.reply = reply_next;
+      std::vector<ir::StmtPtr> guarded;
+      if (g.zero_idx != SIZE_MAX) {
+        ir::StmtPtr z = ir::deep_copy(body->body[g.zero_idx]);
+        subst_stmt(z, v, vnext);
+        // Zero the half being fetched into.
+        ir::StmtPtr zz = z->then_s->kind == ir::StmtKind::Seq
+                             ? z->then_s->body[0]
+                             : z->then_s;
+        zz->zero_off = ir::mul(parity_next, ir::cst(half));
+        guarded.push_back(std::move(z));
+      }
+      guarded.push_back(std::move(pf));
+      new_head.push_back(
+          ir::make_if(ir::lt(vnext, extent), ir::make_seq(std::move(guarded)),
+                      ir::make_seq({})));
+    }
+
+    // The wait for this iteration's data replaces the original wait.
+    new_head.push_back(ir::make_dma_wait(reply_cur));
+
+    if (g.zero_idx != SIZE_MAX) remove[g.zero_idx] = true;
+    remove[g.get_idx] = true;
+    remove[g.wait_idx] = true;
+  }
+
+  // Consumers of double-buffered data select the current half.
+  ir::visit(body, [&](const ir::StmtPtr& n) {
+    if (n->kind != ir::StmtKind::Gemm) return;
+    auto fix = [&](const std::string& buf, ir::Expr& off) {
+      for (const std::string& b : db_bufs) {
+        if (b == buf) {
+          ir::Stmt* alloc = find_alloc(root, buf);
+          off = ir::mul(parity_cur, ir::cst(align_up(alloc->buf_floats, 8)));
+        }
+      }
+    };
+    fix(n->gemm.a_buf, n->gemm.a_off);
+    fix(n->gemm.b_buf, n->gemm.b_off);
+    fix(n->gemm.c_buf, n->gemm.c_off);
+  });
+
+  // Rebuild the body: prefetches + waits first, then the untouched rest.
+  std::vector<ir::StmtPtr> rebuilt = std::move(new_head);
+  for (std::size_t i = 0; i < body->body.size(); ++i)
+    if (!remove[i]) rebuilt.push_back(body->body[i]);
+  body->body = std::move(rebuilt);
+  loop->prefetched = true;
+
+  // Insert the prologue right before the loop.
+  parent->body.insert(parent->body.begin() +
+                          static_cast<std::ptrdiff_t>(loop_idx),
+                      prologue.begin(), prologue.end());
+  return true;
+}
+
+}  // namespace
+
+bool apply_double_buffer(ir::StmtPtr& root) {
+  // Transform every loop that directly issues DMA gets, innermost first:
+  // gets hoisted to outer levels get their own double buffers, so transfer
+  // latency is hidden at every level of the nest.
+  bool any = false;
+  while (apply_one(root)) any = true;
+  return any;
+}
+
+}  // namespace swatop::opt

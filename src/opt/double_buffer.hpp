@@ -1,0 +1,19 @@
+// Automatic memory-latency hiding (Sec. 4.5.2): software prefetching via
+// double buffering. The pass finds the innermost loop that issues DMA gets,
+// allocates a second half for each fetched SPM buffer, hoists iteration-0
+// gets in front of the loop, and rewrites the loop so iteration i issues the
+// gets of iteration i+1 (guarded by i+1 < extent, the paper's generated
+// if-then-else address inference) before waiting on the data of iteration i.
+// Addresses are inferred by substituting var -> var+1 into the DMA address
+// expressions, which are functions of the enclosing loop variables.
+#pragma once
+
+#include "ir/node.hpp"
+
+namespace swatop::opt {
+
+/// Apply double buffering in place. Returns true if a loop was transformed
+/// (false when the IR has no DMA get inside any loop).
+bool apply_double_buffer(ir::StmtPtr& root);
+
+}  // namespace swatop::opt

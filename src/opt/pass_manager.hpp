@@ -1,0 +1,22 @@
+// The IR optimizer pipeline (Sec. 4.5): DMA inference, memory-latency
+// hiding, SPM coalescing and validity checking, applied to each schedule
+// strategy the scheduler lowers.
+#pragma once
+
+#include "ir/node.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::opt {
+
+struct OptOptions {
+  bool prefetch = true;  ///< run the double-buffering pass
+  std::int64_t spm_reserve_floats = 512;
+};
+
+/// Run the optimizer pipeline in place. Returns false when the candidate is
+/// invalid (primitive constraints violated or SPM over budget); the IR is
+/// then unspecified and the scheduler must drop the candidate.
+bool optimize(ir::StmtPtr& root, const sim::SimConfig& cfg,
+              const OptOptions& opts = {});
+
+}  // namespace swatop::opt

@@ -1,0 +1,15 @@
+// IR simplification: eliminate unit-extent loops (substitute the variable
+// with 0 and splice the body into the parent). Running this between DMA
+// inference and double buffering matters: a DMA get sitting in a
+// one-iteration loop would otherwise be "prefetched" across a loop that
+// never advances, hiding nothing.
+#pragma once
+
+#include "ir/node.hpp"
+
+namespace swatop::opt {
+
+/// Remove every For with a constant extent of 1. Returns the new root.
+void eliminate_unit_loops(ir::StmtPtr& root);
+
+}  // namespace swatop::opt

@@ -1,0 +1,61 @@
+#include "prim/dma_primitive.hpp"
+
+#include "common/check.hpp"
+
+namespace swatop::prim {
+
+ReplyWord swdma(sim::CoreGroup& cg, const std::vector<sim::DmaCpeDesc>& descs,
+                sim::ExecMode mode) {
+  return ReplyWord{cg.dma_issue(descs, mode)};
+}
+
+void swdma_wait(sim::CoreGroup& cg, ReplyWord& reply) {
+  cg.dma_wait(reply.id);
+  reply.id = 0;
+}
+
+std::vector<sim::DmaCpeDesc> scatter_2d(const sim::SimConfig& cfg,
+                                        sim::MainMemory::Addr base,
+                                        std::int64_t rows, std::int64_t cols,
+                                        std::int64_t ld,
+                                        std::int64_t spm_addr,
+                                        sim::DmaDir dir) {
+  SWATOP_CHECK(rows > 0 && cols > 0) << "empty scatter_2d";
+  SWATOP_CHECK(rows % cfg.mesh_rows == 0)
+      << "scatter_2d rows " << rows << " not divisible by mesh";
+  SWATOP_CHECK(cols % cfg.mesh_cols == 0)
+      << "scatter_2d cols " << cols << " not divisible by mesh";
+  SWATOP_CHECK(ld >= rows) << "leading dimension " << ld << " < rows " << rows;
+
+  const std::int64_t tr = rows / cfg.mesh_rows;  // tile rows
+  const std::int64_t tc = cols / cfg.mesh_cols;  // tile cols
+  std::vector<sim::DmaCpeDesc> descs;
+  descs.reserve(static_cast<std::size_t>(cfg.num_cpes()));
+  for (int rid = 0; rid < cfg.mesh_rows; ++rid) {
+    for (int cid = 0; cid < cfg.mesh_cols; ++cid) {
+      sim::DmaCpeDesc d;
+      d.mem_base = base + (static_cast<std::int64_t>(cid) * tc) * ld +
+                   static_cast<std::int64_t>(rid) * tr;
+      d.spm_addr = spm_addr;
+      d.block = tr;
+      d.stride = ld - tr;
+      d.total = tr * tc;
+      d.dir = dir;
+      descs.push_back(d);
+    }
+  }
+  return descs;
+}
+
+std::vector<sim::DmaCpeDesc> replicate_1d(const sim::SimConfig& cfg,
+                                          sim::MainMemory::Addr base,
+                                          std::int64_t count,
+                                          std::int64_t spm_addr) {
+  SWATOP_CHECK(count > 0) << "empty replicate_1d";
+  std::vector<sim::DmaCpeDesc> descs(
+      static_cast<std::size_t>(cfg.num_cpes()),
+      sim::DmaCpeDesc{base, spm_addr, count, 0, count, sim::DmaDir::MemToSpm});
+  return descs;
+}
+
+}  // namespace swatop::prim

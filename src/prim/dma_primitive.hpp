@@ -1,0 +1,48 @@
+// DMA tensorized primitives: the swDMA / swDMAWait pair of the paper's
+// Sec. 4.1, plus the descriptor builders that expand a CG-level transfer
+// into 64 per-CPE descriptors (the DMA inference rule of Sec. 4.5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/core_group.hpp"
+
+namespace swatop::prim {
+
+/// The paper's swReplyWord: a token identifying an in-flight transfer.
+struct ReplyWord {
+  sim::CoreGroup::ReplyId id = 0;
+};
+
+/// Launch an asynchronous CG-level DMA (descriptors in mesh order, one per
+/// CPE, or a single descriptor for an MPE-side scalar transfer).
+ReplyWord swdma(sim::CoreGroup& cg, const std::vector<sim::DmaCpeDesc>& descs,
+                sim::ExecMode mode);
+
+/// Block until the transfer completes.
+void swdma_wait(sim::CoreGroup& cg, ReplyWord& reply);
+
+/// Expand "distribute a (rows x cols) column-major matrix with leading
+/// dimension ld, based at `base`, into per-CPE (rid, cid) tiles stored
+/// contiguously at `spm_addr`" into 64 descriptors. rows must divide by the
+/// mesh rows and cols by the mesh cols. Works for both directions (a
+/// SpmToMem direction gathers the tiles back).
+///
+/// Per the paper's example: block = rows/8, stride = ld - rows/8, offset =
+/// (cid * cols/8) * ld + rid * rows/8.
+std::vector<sim::DmaCpeDesc> scatter_2d(const sim::SimConfig& cfg,
+                                        sim::MainMemory::Addr base,
+                                        std::int64_t rows, std::int64_t cols,
+                                        std::int64_t ld,
+                                        std::int64_t spm_addr,
+                                        sim::DmaDir dir);
+
+/// Every CPE transfers the same contiguous `count` floats (weight
+/// broadcast). Only legal for MemToSpm.
+std::vector<sim::DmaCpeDesc> replicate_1d(const sim::SimConfig& cfg,
+                                          sim::MainMemory::Addr base,
+                                          std::int64_t count,
+                                          std::int64_t spm_addr);
+
+}  // namespace swatop::prim

@@ -1,0 +1,113 @@
+#include "prim/gemm_primitive.hpp"
+
+#include "common/check.hpp"
+
+namespace swatop::prim {
+
+namespace {
+
+/// Index of element (i, j) in a tile with `rows` rows stored column-major
+/// (leading dimension = rows) or row-major (leading dimension = cols).
+inline std::int64_t tile_at(std::int64_t i, std::int64_t j, std::int64_t rows,
+                            std::int64_t cols, bool col_major) {
+  return col_major ? i + j * rows : j + i * cols;
+}
+
+}  // namespace
+
+SpmGemmFootprint spm_gemm_footprint(std::int64_t M, std::int64_t N,
+                                    std::int64_t K,
+                                    const sim::SimConfig& cfg) {
+  const std::int64_t m = M / cfg.mesh_rows;
+  const std::int64_t n = N / cfg.mesh_cols;
+  const std::int64_t k = K / cfg.mesh_rows;
+  return {m * k, k * n, m * n};
+}
+
+bool spm_gemm_valid(std::int64_t M, std::int64_t N, std::int64_t K,
+                    const isa::KernelVariant& v, const sim::SimConfig& cfg) {
+  if (M <= 0 || N <= 0 || K <= 0) return false;
+  if (M % cfg.mesh_rows != 0 || N % cfg.mesh_cols != 0 ||
+      K % cfg.mesh_rows != 0)
+    return false;
+  const std::int64_t vec_local =
+      v.vec == isa::VecDim::M ? M / cfg.mesh_rows : N / cfg.mesh_cols;
+  return vec_local % cfg.vector_width == 0;
+}
+
+void spm_gemm(sim::CoreGroup& cg, const SpmGemmArgs& args, sim::ExecMode mode,
+              const isa::KernelCostDb& db) {
+  const sim::SimConfig& cfg = cg.config();
+  SWATOP_CHECK(spm_gemm_valid(args.M, args.N, args.K, args.variant, cfg))
+      << "invalid spm_gemm dims (" << args.M << "," << args.N << ","
+      << args.K << ") for variant " << args.variant.name();
+
+  const int R = cfg.mesh_rows;
+  const int C = cfg.mesh_cols;
+  const std::int64_t m = args.M / R;
+  const std::int64_t n = args.N / C;
+  const std::int64_t k = args.K / R;
+
+  // Tiles must fit where the caller placed them; the Spm view() calls below
+  // bounds-check every access, but validate the extents up front for a
+  // clearer error.
+  const SpmGemmFootprint fp = spm_gemm_footprint(args.M, args.N, args.K, cfg);
+  for (std::int64_t off : {args.a_spm + fp.a_floats, args.b_spm + fp.b_floats,
+                           args.c_spm + fp.c_floats}) {
+    SWATOP_CHECK(off <= cfg.spm_floats())
+        << "spm_gemm tile exceeds SPM capacity";
+  }
+
+  cg.advance_compute(db.spm_gemm_cycles(args.variant, args.M, args.N, args.K));
+  cg.stats().gemm_calls += 1;
+  cg.stats().flops += 2 * args.M * args.N * args.K;
+
+  if (mode != sim::ExecMode::Functional) return;
+
+  const bool c_col_major = args.variant.vec == isa::VecDim::M;
+  sim::CpeCluster& cl = cg.cluster();
+
+  // beta scaling once, before accumulating panels.
+  if (args.beta != 1.0f) {
+    for (int r = 0; r < R; ++r) {
+      for (int c = 0; c < C; ++c) {
+        auto cv = cl.at(r, c).spm().view(args.c_spm, m * n);
+        for (float& x : cv) x *= args.beta;
+      }
+    }
+  }
+
+  for (int kb = 0; kb < R; ++kb) {
+    // Row broadcast of A tiles in mesh column kb; column broadcast of B
+    // tiles in mesh row kb.
+    cl.bus().record_row_broadcast(m * k * R);
+    cl.bus().record_col_broadcast(k * n * C);
+    for (int r = 0; r < R; ++r) {
+      for (int c = 0; c < C; ++c) {
+        const auto a = cl.at(r, kb).spm().view(args.a_spm, m * k);
+        const auto b = cl.at(kb, c).spm().view(args.b_spm, k * n);
+        auto cc = cl.at(r, c).spm().view(args.c_spm, m * n);
+        for (std::int64_t i = 0; i < m; ++i) {
+          for (std::int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              acc += a[static_cast<std::size_t>(tile_at(
+                         i, kk, m, k, args.variant.a_col_major))] *
+                     b[static_cast<std::size_t>(tile_at(
+                         kk, j, k, n, args.variant.b_col_major))];
+            }
+            cc[static_cast<std::size_t>(tile_at(i, j, m, n, c_col_major))] +=
+                args.alpha * acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+void spm_gemm(sim::CoreGroup& cg, const SpmGemmArgs& args,
+              sim::ExecMode mode) {
+  spm_gemm(cg, args, mode, isa::kernel_cost_db(cg.config()));
+}
+
+}  // namespace swatop::prim

@@ -1,0 +1,61 @@
+// The spm_gemm tensorized primitive: C += alpha * A x B with A, B and C
+// resident in the SPMs of the 8x8 CPE cluster (the paper's Sec. 4.1 and
+// appendix).
+//
+// Matrices are partitioned uniformly into 8x8 tiles; CPE (r, c) holds tile
+// (r, c) of each operand. Execution is a SUMMA-style sweep over 8 k-panels:
+// in panel kb, the CPEs of mesh column kb broadcast their A tiles along the
+// row bus and the CPEs of mesh row kb broadcast their B tiles along the
+// column bus; every CPE then runs the register-blocked micro-kernel on the
+// received tiles. Functional execution really performs the distributed
+// arithmetic across the 64 simulated SPMs; timing comes from the
+// pipeline-priced micro-kernel bodies (KernelCostDb).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/kernel_cache.hpp"
+#include "sim/core_group.hpp"
+
+namespace swatop::prim {
+
+/// Arguments of the spm_gemm primitive (the paper's CBLAS-like interface
+/// plus the vectorization-dimension parameter, carried inside `variant`).
+struct SpmGemmArgs {
+  std::int64_t M = 0;  ///< global rows of A/C; must be divisible by 8
+  std::int64_t N = 0;  ///< global cols of B/C; must be divisible by 8
+  std::int64_t K = 0;  ///< global depth; must be divisible by 8
+  float alpha = 1.0f;
+  float beta = 1.0f;
+  std::int64_t a_spm = 0;  ///< SPM float offset of the local A tile
+  std::int64_t b_spm = 0;  ///< SPM float offset of the local B tile
+  std::int64_t c_spm = 0;  ///< SPM float offset of the local C tile
+  isa::KernelVariant variant;
+};
+
+/// SPM floats needed per CPE by each operand of a (M, N, K) spm_gemm.
+struct SpmGemmFootprint {
+  std::int64_t a_floats = 0;
+  std::int64_t b_floats = 0;
+  std::int64_t c_floats = 0;
+  std::int64_t total() const { return a_floats + b_floats + c_floats; }
+};
+SpmGemmFootprint spm_gemm_footprint(std::int64_t M, std::int64_t N,
+                                    std::int64_t K,
+                                    const sim::SimConfig& cfg);
+
+/// True if (M, N, K) with this variant satisfies the primitive's
+/// divisibility constraints (mesh distribution + vector alignment of the
+/// vectorized dimension).
+bool spm_gemm_valid(std::int64_t M, std::int64_t N, std::int64_t K,
+                    const isa::KernelVariant& v, const sim::SimConfig& cfg);
+
+/// Execute the primitive on a core group. Throws CheckError on invalid
+/// arguments. Advances the CG clock; in Functional mode also computes.
+void spm_gemm(sim::CoreGroup& cg, const SpmGemmArgs& args, sim::ExecMode mode,
+              const isa::KernelCostDb& db);
+
+/// Convenience overload using the process-wide cost database.
+void spm_gemm(sim::CoreGroup& cg, const SpmGemmArgs& args, sim::ExecMode mode);
+
+}  // namespace swatop::prim

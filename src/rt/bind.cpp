@@ -1,0 +1,13 @@
+#include "rt/bind.hpp"
+
+namespace swatop::rt {
+
+dsl::BoundTensors bind_tensors(sim::CoreGroup& cg,
+                               const dsl::OperatorDef& op) {
+  dsl::BoundTensors bt;
+  for (const dsl::TensorSpec& t : op.tensors())
+    bt[t.name] = cg.mem().alloc(t.floats, t.name);
+  return bt;
+}
+
+}  // namespace swatop::rt

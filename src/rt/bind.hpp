@@ -1,0 +1,13 @@
+// Tensor binding: allocate an operator's main-memory tensors in a core
+// group's arena.
+#pragma once
+
+#include "dsl/dsl.hpp"
+#include "sim/core_group.hpp"
+
+namespace swatop::rt {
+
+/// Allocate every tensor the operator declares; returns name -> address.
+dsl::BoundTensors bind_tensors(sim::CoreGroup& cg, const dsl::OperatorDef& op);
+
+}  // namespace swatop::rt

@@ -1,0 +1,68 @@
+// Fast expression evaluation for the runtime's hot loops.
+//
+// ir::eval walks the shared expression tree and hash-looks-up every
+// variable by name -- fine for passes, too slow for the timing interpreter
+// that evaluates the same handful of expressions millions of times. This
+// evaluator compiles each expression once (on first use, cached by node
+// pointer) into a postfix program over integer slots and keeps variable
+// values in a flat vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace swatop::rt {
+
+class ExprEvaluator {
+ public:
+  /// Slot for a variable name (assigned on first use).
+  int slot_of(const std::string& name);
+
+  /// Bind a slot's current value.
+  void set(int slot, std::int64_t v) {
+    values_[static_cast<std::size_t>(slot)] = v;
+  }
+
+  /// Evaluate an expression against the current bindings.
+  std::int64_t eval(const ir::Expr& e);
+
+ private:
+  enum class Op : std::uint8_t {
+    PushConst,
+    PushVar,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Min,
+    Max,
+    Lt,
+    Ge,
+    Select,  ///< pops else, then, cond
+  };
+  struct Step {
+    Op op;
+    std::int64_t payload = 0;  ///< constant or slot id
+  };
+  using Code = std::vector<Step>;
+
+  const Code& compile(const ir::Expr& e);
+  void emit(const ir::Expr& e, Code& out);
+
+  // The cache is keyed by node address; each entry pins the expression so
+  // the allocator can never hand the same address to a different tree.
+  struct Entry {
+    ir::Expr pin;
+    Code code;
+  };
+  std::unordered_map<const ir::ExprNode*, Entry> cache_;
+  std::unordered_map<std::string, int> names_;
+  std::vector<std::int64_t> values_;
+};
+
+}  // namespace swatop::rt

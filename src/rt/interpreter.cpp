@@ -1,0 +1,195 @@
+#include "rt/interpreter.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "rt/dma_expand.hpp"
+
+namespace swatop::rt {
+
+namespace ir = swatop::ir;
+
+Interpreter::Interpreter(sim::CoreGroup& cg, sim::ExecMode mode)
+    : cg_(cg), mode_(mode), db_(isa::kernel_cost_db(cg.config())) {}
+
+std::int64_t Interpreter::spm_base(const std::string& buf) const {
+  auto it = spm_off_.find(buf);
+  SWATOP_CHECK(it != spm_off_.end()) << "unknown SPM buffer '" << buf << "'";
+  return it->second;
+}
+
+RunResult Interpreter::run(const ir::StmtPtr& root,
+                           const dsl::BoundTensors& tensors) {
+  cg_.reset_execution();
+  spm_off_.clear();
+  reply_done_.assign(256, -1.0);
+  tensors_ = &tensors;
+  exec(root);
+  for (double d : reply_done_)
+    SWATOP_CHECK(d < 0.0) << "program ended with in-flight DMA";
+  RunResult r;
+  r.cycles = cg_.now();
+  r.stats = cg_.stats();
+  return r;
+}
+
+void Interpreter::exec(const ir::StmtPtr& s) {
+  if (s == nullptr) return;
+  switch (s->kind) {
+    case ir::StmtKind::Seq:
+      for (const ir::StmtPtr& c : s->body) exec(c);
+      return;
+    case ir::StmtKind::For: {
+      const std::int64_t n = eval_.eval(s->extent);
+      const int slot = eval_.slot_of(s->var);
+      for (std::int64_t i = 0; i < n; ++i) {
+        eval_.set(slot, i);
+        exec(s->for_body);
+      }
+      return;
+    }
+    case ir::StmtKind::If:
+      if (eval_.eval(s->cond) != 0)
+        exec(s->then_s);
+      else
+        exec(s->else_s);
+      return;
+    case ir::StmtKind::SpmAlloc: {
+      const std::int64_t half = align_up(s->buf_floats, 8);
+      const std::int64_t total = s->double_buffered ? 2 * half : s->buf_floats;
+      spm_off_[s->buf_name] = cg_.cluster().spm_alloc(total, s->buf_name);
+      return;
+    }
+    case ir::StmtKind::SpmZero:
+      exec_zero(*s);
+      return;
+    case ir::StmtKind::DmaGet:
+    case ir::StmtKind::DmaPut:
+      exec_dma(*s);
+      return;
+    case ir::StmtKind::DmaWait: {
+      const std::int64_t slot = eval_.eval(s->wait_reply);
+      SWATOP_CHECK(slot >= 0 && slot < 256 &&
+                   reply_done_[static_cast<std::size_t>(slot)] >= 0.0)
+          << "dma_wait on empty reply slot " << slot;
+      cg_.wait_until(reply_done_[static_cast<std::size_t>(slot)]);
+      reply_done_[static_cast<std::size_t>(slot)] = -1.0;
+      return;
+    }
+    case ir::StmtKind::Gemm:
+      exec_gemm(*s);
+      return;
+    case ir::StmtKind::Comment:
+      return;
+  }
+  SWATOP_UNREACHABLE("bad stmt kind");
+}
+
+void Interpreter::exec_zero(const ir::Stmt& s) {
+  const std::int64_t off = spm_base(s.buf_name) + eval_.eval(s.zero_off);
+  const std::int64_t n = eval_.eval(s.zero_floats);
+  if (n <= 0) return;
+  // Vector stores, 4 floats per cycle on P1, all CPEs in parallel.
+  cg_.advance_compute(static_cast<double>(n) /
+                      cg_.config().vector_width);
+  if (mode_ != sim::ExecMode::Functional) return;
+  const sim::SimConfig& cfg = cg_.config();
+  for (int r = 0; r < cfg.mesh_rows; ++r)
+    for (int c = 0; c < cfg.mesh_cols; ++c)
+      cg_.cluster().at(r, c).spm().fill(off, n, 0.0f);
+}
+
+void Interpreter::exec_dma(const ir::Stmt& s) {
+  const ir::DmaAttrs& d = s.dma;
+  const sim::SimConfig& cfg = cg_.config();
+  auto t = tensors_->find(d.view.tensor);
+  SWATOP_CHECK(t != tensors_->end())
+      << "unbound tensor '" << d.view.tensor << "'";
+  const DmaGeometry geo = evaluate_dma(d, eval_, t->second, cfg);
+  const std::int64_t spm_at = spm_base(d.spm_buf) + eval_.eval(d.spm_off);
+  const sim::DmaCost& cost = dma_cost_cache_.get(d, geo, cg_.dma(), cfg);
+  const double done = cg_.dma_issue_cost_at(cost);
+  const std::int64_t slot = eval_.eval(d.reply);
+  SWATOP_CHECK(slot >= 0 && slot < 256 &&
+               reply_done_[static_cast<std::size_t>(slot)] < 0.0)
+      << "reply slot " << slot << " already in flight";
+  reply_done_[static_cast<std::size_t>(slot)] = done;
+
+  if (mode_ != sim::ExecMode::Functional) return;
+
+  for (int rid = 0; rid < cfg.mesh_rows; ++rid) {
+    for (int cid = 0; cid < cfg.mesh_cols; ++cid) {
+      std::int64_t br, bc;
+      block_of(d, rid, cid, &br, &bc);
+      const std::int64_t vr =
+          std::clamp<std::int64_t>(geo.rows - br * geo.tr, 0, geo.tr);
+      const std::int64_t vc =
+          std::clamp<std::int64_t>(geo.cols - bc * geo.tc, 0, geo.tc);
+      if (vr <= 0 || vc <= 0) continue;
+      sim::Spm& spm = cg_.cluster().at(rid, cid).spm();
+      const sim::MainMemory::Addr tile_base =
+          geo.base + br * geo.tr * d.view.stride_r +
+          bc * geo.tc * d.view.stride_c;
+      for (std::int64_t j = 0; j < vc; ++j) {
+        for (std::int64_t i = 0; i < vr; ++i) {
+          const sim::MainMemory::Addr mem_at =
+              tile_base + i * d.view.stride_r + j * d.view.stride_c;
+          const std::int64_t spm_idx = spm_at + i + j * geo.tr;
+          if (d.dir == ir::Direction::MemToSpm)
+            spm.write(spm_idx, cg_.mem().read(mem_at));
+          else
+            cg_.mem().write(mem_at, spm.read(spm_idx));
+        }
+      }
+    }
+  }
+}
+
+void Interpreter::exec_gemm(const ir::Stmt& s) {
+  const ir::GemmAttrs& g = s.gemm;
+  SWATOP_CHECK(!g.a_buf.empty())
+      << "gemm without SPM bindings -- run DMA inference first";
+  prim::SpmGemmArgs args;
+  args.M = eval_.eval(g.M);
+  args.N = eval_.eval(g.N);
+  args.K = eval_.eval(g.K);
+  if (args.M == 0 || args.N == 0 || args.K == 0) return;
+  args.alpha = g.alpha;
+  args.beta = 1.0f;  // accumulator tiles are zeroed / re-fetched upstream
+  args.a_spm = spm_base(g.a_buf) + eval_.eval(g.a_off);
+  args.b_spm = spm_base(g.b_buf) + eval_.eval(g.b_off);
+  args.c_spm = spm_base(g.c_buf) + eval_.eval(g.c_off);
+  args.variant = isa::KernelVariant::from_index(g.variant);
+
+  if (mode_ == sim::ExecMode::Functional) {
+    prim::spm_gemm(cg_, args, mode_, db_);
+    return;
+  }
+  // TimingOnly fast path: the primitive's cost only depends on the dims and
+  // the variant; memoize it.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(args.variant.index()) << 60) ^
+      (static_cast<std::uint64_t>(args.M) << 40) ^
+      (static_cast<std::uint64_t>(args.N) << 20) ^
+      static_cast<std::uint64_t>(args.K);
+  auto it = gemm_cost_memo_.find(key);
+  double cycles;
+  if (it != gemm_cost_memo_.end()) {
+    cycles = it->second;
+  } else {
+    SWATOP_CHECK(
+        prim::spm_gemm_valid(args.M, args.N, args.K, args.variant,
+                             cg_.config()))
+        << "invalid gemm dims (" << args.M << "," << args.N << "," << args.K
+        << ") at runtime";
+    cycles = db_.spm_gemm_cycles(args.variant, args.M, args.N, args.K);
+    gemm_cost_memo_.emplace(key, cycles);
+  }
+  cg_.advance_compute(cycles);
+  cg_.stats().gemm_calls += 1;
+  cg_.stats().flops += 2 * args.M * args.N * args.K;
+}
+
+}  // namespace swatop::rt

@@ -1,0 +1,65 @@
+// The runtime: executes optimized IR on the simulated core group.
+//
+// Two modes mirror the two ways swATOP code is exercised. Functional mode
+// really moves data between the arena and the 64 SPMs and runs the
+// distributed GEMM primitive -- used by tests and examples to validate
+// generated schedules against naive references. TimingOnly mode walks every
+// loop iteration and prices every primitive without touching data -- it is
+// this reproduction's stand-in for "running the generated code on the
+// SW26010", and is what the black-box autotuner measures.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dsl/dsl.hpp"
+#include "ir/node.hpp"
+#include "isa/kernel_cache.hpp"
+#include "prim/gemm_primitive.hpp"
+#include "rt/dma_expand.hpp"
+#include "sim/core_group.hpp"
+
+namespace swatop::rt {
+
+struct RunResult {
+  double cycles = 0.0;
+  sim::CgStats stats;
+
+  /// Achieved GFLOPS given the operator's useful flops.
+  double gflops(std::int64_t useful_flops, const sim::SimConfig& cfg) const {
+    if (cycles <= 0.0) return 0.0;
+    return static_cast<double>(useful_flops) / cycles * cfg.clock_ghz;
+  }
+};
+
+class Interpreter {
+ public:
+  Interpreter(sim::CoreGroup& cg, sim::ExecMode mode);
+
+  /// Execute `root` against the bound tensors. Resets the CG's clock,
+  /// engine, statistics and SPM allocator (memory contents are preserved).
+  RunResult run(const ir::StmtPtr& root, const dsl::BoundTensors& tensors);
+
+ private:
+  void exec(const ir::StmtPtr& s);
+  void exec_dma(const ir::Stmt& s);
+  void exec_gemm(const ir::Stmt& s);
+  void exec_zero(const ir::Stmt& s);
+  std::int64_t spm_base(const std::string& buf) const;
+
+  sim::CoreGroup& cg_;
+  sim::ExecMode mode_;
+  const isa::KernelCostDb& db_;
+  ExprEvaluator eval_;
+  const dsl::BoundTensors* tensors_ = nullptr;
+  std::unordered_map<std::string, std::int64_t> spm_off_;
+  // Reply slots are small integers; completion times indexed directly.
+  // A negative entry means "empty".
+  std::vector<double> reply_done_;
+  // Hot-path memoization: gemm cost per (variant, M, N, K) and DMA cost
+  // per transfer geometry.
+  std::unordered_map<std::uint64_t, double> gemm_cost_memo_;
+  DmaCostCache dma_cost_cache_;
+};
+
+}  // namespace swatop::rt

@@ -1,0 +1,27 @@
+#include "sched/scheduler.hpp"
+
+namespace swatop::sched {
+
+std::int64_t Scheduler::space_size(const dsl::OperatorDef& op) const {
+  return op.space().size();
+}
+
+std::vector<Candidate> Scheduler::candidates(
+    const dsl::OperatorDef& op, const SchedulerOptions& opts) const {
+  std::vector<Candidate> out;
+  const dsl::ScheduleSpace space = op.space();
+  for (const dsl::Strategy& s : space.enumerate()) {
+    ir::StmtPtr prog = op.lower(s);
+    if (prog == nullptr) continue;  // structurally invalid assignment
+    opt::OptOptions o = opts.opt;
+    o.prefetch = opts.opt.prefetch && op.prefetch_enabled(s);
+    if (!opt::optimize(prog, cfg_, o)) continue;  // pruned
+    out.push_back({s, std::move(prog), o.prefetch});
+    if (opts.max_candidates > 0 &&
+        static_cast<std::int64_t>(out.size()) >= opts.max_candidates)
+      break;
+  }
+  return out;
+}
+
+}  // namespace swatop::sched

@@ -1,0 +1,46 @@
+// The scheduler (Sec. 4.3): traverses the schedule space an operator
+// definition declares, lowers every strategy to IR, runs the IR optimizer
+// pipeline, and keeps the candidates that survive validity pruning (SPM
+// budget, primitive divisibility).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+#include "ir/node.hpp"
+#include "opt/pass_manager.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::sched {
+
+struct Candidate {
+  dsl::Strategy strategy;
+  ir::StmtPtr program;     ///< optimized IR, ready for the runtime
+  bool prefetch = false;   ///< double buffering applied
+};
+
+struct SchedulerOptions {
+  opt::OptOptions opt;
+  /// Cap on returned candidates (0 = unlimited); applied after pruning, by
+  /// enumeration order, and reported so benches can note truncation.
+  std::int64_t max_candidates = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const sim::SimConfig& cfg) : cfg_(cfg) {}
+
+  /// Raw size of the operator's schedule space (before pruning).
+  std::int64_t space_size(const dsl::OperatorDef& op) const;
+
+  /// All valid optimized candidates.
+  std::vector<Candidate> candidates(
+      const dsl::OperatorDef& op,
+      const SchedulerOptions& opts = SchedulerOptions{}) const;
+
+ private:
+  sim::SimConfig cfg_;
+};
+
+}  // namespace swatop::sched

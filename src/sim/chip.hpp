@@ -1,0 +1,47 @@
+// The whole SW26010: four core groups on a network-on-chip. Each CG owns a
+// private memory controller and DDR3 channel, so data-parallel work scales
+// near-linearly; the NoC contributes a synchronization cost at kernel
+// boundaries. (The paper's absolute TFLOPS numbers -- e.g. 2.1 TFLOPS
+// implicit CONV against the 3.06 TFLOPS chip peak -- are chip-level; the
+// per-CG machinery in CoreGroup is where all scheduling happens.)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/core_group.hpp"
+
+namespace swatop::sim {
+
+class Chip {
+ public:
+  explicit Chip(const SimConfig& cfg = SimConfig{}, int groups = 4);
+
+  int groups() const { return static_cast<int>(cgs_.size()); }
+  CoreGroup& cg(int i);
+
+  const SimConfig& config() const { return cfg_; }
+
+  /// Chip-level elapsed time: the slowest core group.
+  double elapsed() const;
+
+  /// NoC barrier cost charged once per kernel launch when work spans
+  /// multiple groups.
+  double sync_cycles() const { return 2000.0; }
+
+  /// Chip peak throughput (all CPE clusters).
+  double peak_gflops() const {
+    return cfg_.peak_gflops() * static_cast<double>(groups());
+  }
+
+  /// Summed statistics across groups.
+  CgStats aggregate_stats() const;
+
+  void reset_execution();
+
+ private:
+  SimConfig cfg_;
+  std::vector<std::unique_ptr<CoreGroup>> cgs_;
+};
+
+}  // namespace swatop::sim

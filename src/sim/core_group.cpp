@@ -1,0 +1,135 @@
+#include "sim/core_group.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace swatop::sim {
+
+CoreGroup::CoreGroup(const SimConfig& cfg)
+    : cfg_(cfg), cluster_(cfg_), dma_(cfg_) {}
+
+void CoreGroup::advance_compute(double cycles) {
+  SWATOP_CHECK(cycles >= 0.0);
+  now_ += cycles;
+  stats_.compute_cycles += cycles;
+}
+
+CoreGroup::ReplyId CoreGroup::dma_issue(std::span<const DmaCpeDesc> descs,
+                                        ExecMode mode) {
+  const DmaCost c = dma_.cost(descs);
+  const double done = dma_.issue(now_, c);
+  const ReplyId id = next_reply_++;
+  inflight_[id] = done;
+  stats_.dma_bytes_requested += c.bytes_requested;
+  stats_.dma_bytes_wasted += c.bytes_wasted;
+  stats_.dma_transactions += c.transactions;
+  stats_.dma_transfers += 1;
+
+  if (mode == ExecMode::Functional) {
+    // Descriptors are expected in mesh order: one per CPE (or a single
+    // descriptor when only CPE (0,0) participates, e.g. scalars).
+    const int n = static_cast<int>(descs.size());
+    SWATOP_CHECK(n == cfg_.num_cpes() || n == 1)
+        << "functional DMA expects 1 or " << cfg_.num_cpes()
+        << " descriptors, got " << n;
+    for (int i = 0; i < n; ++i) {
+      const DmaCpeDesc& d = descs[static_cast<std::size_t>(i)];
+      if (d.total == 0) continue;
+      Spm& spm = cluster_.at(i / cfg_.mesh_cols, i % cfg_.mesh_cols).spm();
+      std::int64_t remaining = d.total;
+      MainMemory::Addr mem = d.mem_base;
+      std::int64_t spm_at = d.spm_addr;
+      while (remaining > 0) {
+        const std::int64_t blk = std::min(remaining, d.block);
+        if (d.dir == DmaDir::MemToSpm) {
+          auto src = mem_.view(mem, blk);
+          auto dst = spm.view(spm_at, blk);
+          std::copy(src.begin(), src.end(), dst.begin());
+        } else {
+          auto src = spm.view(spm_at, blk);
+          auto dst = mem_.view(mem, blk);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+        remaining -= blk;
+        mem += d.block + d.stride;
+        spm_at += blk;
+      }
+    }
+  }
+  return id;
+}
+
+double CoreGroup::dma_issue_cost_at(const DmaCost& c) {
+  const double done = dma_.issue(now_, c);
+  stats_.dma_bytes_requested += c.bytes_requested;
+  stats_.dma_bytes_wasted += c.bytes_wasted;
+  stats_.dma_transactions += c.transactions;
+  stats_.dma_transfers += 1;
+  return done;
+}
+
+void CoreGroup::wait_until(double t) {
+  if (t > now_) {
+    stats_.dma_stall_cycles += t - now_;
+    now_ = t;
+  }
+}
+
+CoreGroup::ReplyId CoreGroup::dma_issue_cost(const DmaCost& c) {
+  const double done = dma_.issue(now_, c);
+  const ReplyId id = next_reply_++;
+  inflight_[id] = done;
+  stats_.dma_bytes_requested += c.bytes_requested;
+  stats_.dma_bytes_wasted += c.bytes_wasted;
+  stats_.dma_transactions += c.transactions;
+  stats_.dma_transfers += 1;
+  return id;
+}
+
+void CoreGroup::dma_wait(ReplyId id) {
+  auto it = inflight_.find(id);
+  SWATOP_CHECK(it != inflight_.end()) << "dma_wait on unknown reply " << id;
+  if (it->second > now_) {
+    stats_.dma_stall_cycles += it->second - now_;
+    now_ = it->second;
+  }
+  inflight_.erase(it);
+}
+
+bool CoreGroup::dma_pending(ReplyId id) const {
+  return inflight_.count(id) > 0;
+}
+
+void CoreGroup::charge_dma_sync(std::span<const DmaCpeDesc> descs) {
+  const ReplyId id = dma_issue(descs, ExecMode::TimingOnly);
+  dma_wait(id);
+}
+
+void CoreGroup::charge_dma_cost_sync(const DmaCost& c) {
+  const double done = dma_.issue(now_, c);
+  stats_.dma_bytes_requested += c.bytes_requested;
+  stats_.dma_bytes_wasted += c.bytes_wasted;
+  stats_.dma_transactions += c.transactions;
+  stats_.dma_transfers += 1;
+  if (done > now_) {
+    stats_.dma_stall_cycles += done - now_;
+    now_ = done;
+  }
+}
+
+void CoreGroup::reset_execution() {
+  now_ = 0.0;
+  dma_.reset();
+  inflight_.clear();
+  stats_ = CgStats{};
+  cluster_.spm_reset();
+  cluster_.bus().reset();
+}
+
+void CoreGroup::reset_all() {
+  reset_execution();
+  mem_.reset();
+}
+
+}  // namespace swatop::sim

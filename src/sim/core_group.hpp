@@ -1,0 +1,110 @@
+// One SW26010 core group: main memory, the CPE cluster, the DMA engine, and
+// the simulation clock.
+//
+// Time model: execution is SPMD at primitive granularity, so the CG keeps a
+// single `now` cycle counter that compute primitives advance. DMA transfers
+// are asynchronous: issuing one books it on the engine and records its
+// completion time under a reply id; waiting advances `now` to the completion
+// time (the stall the paper's double buffering removes).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/cluster.hpp"
+#include "sim/config.hpp"
+#include "sim/dma.hpp"
+#include "sim/main_memory.hpp"
+
+namespace swatop::sim {
+
+/// What the runtime should do when executing primitives.
+enum class ExecMode {
+  Functional,  ///< move data and compute, and account time
+  TimingOnly,  ///< account time only (the stand-in for hardware runs)
+};
+
+/// Aggregate counters for one execution.
+struct CgStats {
+  double compute_cycles = 0.0;    ///< cycles spent in compute primitives
+  double dma_stall_cycles = 0.0;  ///< cycles the cluster waited on DMA
+  std::int64_t dma_bytes_requested = 0;
+  std::int64_t dma_bytes_wasted = 0;
+  std::int64_t dma_transactions = 0;
+  std::int64_t dma_transfers = 0;
+  std::int64_t flops = 0;  ///< useful MACs * 2 executed by GEMM primitives
+  std::int64_t gemm_calls = 0;
+};
+
+class CoreGroup {
+ public:
+  using ReplyId = std::int64_t;
+
+  explicit CoreGroup(const SimConfig& cfg = SimConfig{});
+
+  const SimConfig& config() const { return cfg_; }
+  MainMemory& mem() { return mem_; }
+  const MainMemory& mem() const { return mem_; }
+  CpeCluster& cluster() { return cluster_; }
+  const CpeCluster& cluster() const { return cluster_; }
+  DmaEngine& dma() { return dma_; }
+
+  double now() const { return now_; }
+
+  /// Advance the cluster clock by `cycles` of computation.
+  void advance_compute(double cycles);
+
+  /// Issue a CG-level DMA (per-CPE descriptors). In Functional mode the data
+  /// moves immediately (legal because SPMD code always waits before use and
+  /// double buffering never reuses an in-flight buffer). Returns a reply id.
+  ReplyId dma_issue(std::span<const DmaCpeDesc> descs, ExecMode mode);
+
+  /// Issue an asynchronous transfer whose cost was computed (and possibly
+  /// memoized) by the caller; books timing and statistics only.
+  ReplyId dma_issue_cost(const DmaCost& c);
+
+  /// Hot-path variant: books the transfer and returns its completion time
+  /// directly; pair with wait_until (no reply bookkeeping).
+  double dma_issue_cost_at(const DmaCost& c);
+
+  /// Stall until the given completion time (no-op if already past).
+  void wait_until(double t);
+
+  /// Block until the transfer behind `id` completes (advances the clock).
+  void dma_wait(ReplyId id);
+
+  /// True if the reply id has an in-flight transfer.
+  bool dma_pending(ReplyId id) const;
+
+  /// Price and book a synchronous CG-level transfer without functional data
+  /// movement. Used by packing helpers that stage arena-to-arena copies
+  /// through SPM: the data is moved directly by the caller, the time and
+  /// transaction statistics are accounted here.
+  void charge_dma_sync(std::span<const DmaCpeDesc> descs);
+
+  /// Book a synchronous transfer whose cost the caller computed analytically
+  /// (bulk re-layout passes such as im2col or the Winograd transforms).
+  void charge_dma_cost_sync(const DmaCost& c);
+
+  CgStats& stats() { return stats_; }
+  const CgStats& stats() const { return stats_; }
+
+  /// Reset clock, engine, statistics and SPM allocator -- memory contents
+  /// and allocations are preserved (so one can re-run on the same buffers).
+  void reset_execution();
+
+  /// Full reset including main memory.
+  void reset_all();
+
+ private:
+  SimConfig cfg_;
+  MainMemory mem_;
+  CpeCluster cluster_;
+  DmaEngine dma_;
+  double now_ = 0.0;
+  ReplyId next_reply_ = 1;
+  std::unordered_map<ReplyId, double> inflight_;
+  CgStats stats_;
+};
+
+}  // namespace swatop::sim

@@ -1,0 +1,28 @@
+// One computing processing element (CPE): mesh coordinates plus its SPM.
+// Instruction-level behaviour (pipelines, vector registers) is modelled by
+// src/isa; data-level behaviour by the primitives operating on the SPM.
+#pragma once
+
+#include "sim/config.hpp"
+#include "sim/spm.hpp"
+
+namespace swatop::sim {
+
+class Cpe {
+ public:
+  Cpe(const SimConfig& cfg, int rid, int cid)
+      : rid_(rid), cid_(cid), spm_(cfg) {}
+
+  int rid() const { return rid_; }
+  int cid() const { return cid_; }
+
+  Spm& spm() { return spm_; }
+  const Spm& spm() const { return spm_; }
+
+ private:
+  int rid_;
+  int cid_;
+  Spm spm_;
+};
+
+}  // namespace swatop::sim

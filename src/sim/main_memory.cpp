@@ -1,0 +1,72 @@
+#include "sim/main_memory.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace swatop::sim {
+
+namespace {
+constexpr std::int64_t kAlignFloats = 32;  // 128 bytes / 4
+}
+
+MainMemory::Addr MainMemory::alloc(std::int64_t nfloats, std::string name) {
+  SWATOP_CHECK(nfloats > 0) << "alloc of " << nfloats << " floats";
+  Addr base = align_up(top_, kAlignFloats);
+  top_ = base + nfloats;
+  if (materialize_) data_.resize(static_cast<std::size_t>(top_), 0.0f);
+  allocs_.push_back({base, nfloats, std::move(name)});
+  return base;
+}
+
+void MainMemory::reset() {
+  data_.clear();
+  allocs_.clear();
+  top_ = 0;
+}
+
+void MainMemory::check_range(Addr a, std::int64_t n) const {
+  SWATOP_CHECK(a >= 0 && n >= 0 &&
+               a + n <= static_cast<Addr>(data_.size()))
+      << "main memory access [" << a << ", " << a + n << ") out of "
+      << (materialize_ ? "arena of " : "non-materialized arena of ")
+      << data_.size() << " materialized floats";
+}
+
+float MainMemory::read(Addr a) const {
+  check_range(a, 1);
+  return data_[static_cast<std::size_t>(a)];
+}
+
+void MainMemory::write(Addr a, float v) {
+  check_range(a, 1);
+  data_[static_cast<std::size_t>(a)] = v;
+}
+
+std::span<float> MainMemory::view(Addr a, std::int64_t n) {
+  check_range(a, n);
+  return {data_.data() + a, static_cast<std::size_t>(n)};
+}
+
+std::span<const float> MainMemory::view(Addr a, std::int64_t n) const {
+  check_range(a, n);
+  return {data_.data() + a, static_cast<std::size_t>(n)};
+}
+
+void MainMemory::copy_in(Addr dst, std::span<const float> src) {
+  auto v = view(dst, static_cast<std::int64_t>(src.size()));
+  std::copy(src.begin(), src.end(), v.begin());
+}
+
+void MainMemory::copy_out(Addr src, std::span<float> dst) const {
+  auto v = view(src, static_cast<std::int64_t>(dst.size()));
+  std::copy(v.begin(), v.end(), dst.begin());
+}
+
+void MainMemory::fill(Addr a, std::int64_t n, float v) {
+  auto s = view(a, n);
+  std::fill(s.begin(), s.end(), v);
+}
+
+}  // namespace swatop::sim

@@ -1,0 +1,65 @@
+// Simulated main memory of one core group: a growable float arena with
+// named, 128-byte-aligned allocations and bounds-checked access.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swatop::sim {
+
+class MainMemory {
+ public:
+  /// Addresses are float indices into the arena (byte address = 4 * Addr).
+  using Addr = std::int64_t;
+
+  MainMemory() = default;
+
+  /// Timing-only executions on large workloads only need addresses, not
+  /// storage; with materialization off, alloc() hands out addresses without
+  /// resizing the arena and data access throws.
+  void set_materialize(bool on) { materialize_ = on; }
+  bool materialize() const { return materialize_; }
+
+  /// Allocate `nfloats` zero-initialized floats, aligned to a DRAM
+  /// transaction boundary. `name` is kept for diagnostics.
+  Addr alloc(std::int64_t nfloats, std::string name = "");
+
+  /// Release every allocation and reset the arena.
+  void reset();
+
+  /// Number of floats currently allocated (including alignment padding).
+  std::int64_t size() const { return top_; }
+
+  float read(Addr a) const;
+  void write(Addr a, float v);
+
+  /// Bounds-checked span over [a, a + n).
+  std::span<float> view(Addr a, std::int64_t n);
+  std::span<const float> view(Addr a, std::int64_t n) const;
+
+  /// Copy a host buffer into the arena / out of the arena.
+  void copy_in(Addr dst, std::span<const float> src);
+  void copy_out(Addr src, std::span<float> dst) const;
+
+  /// Fill [a, a+n) with a value.
+  void fill(Addr a, std::int64_t n, float v);
+
+  struct Allocation {
+    Addr base;
+    std::int64_t size;
+    std::string name;
+  };
+  const std::vector<Allocation>& allocations() const { return allocs_; }
+
+ private:
+  void check_range(Addr a, std::int64_t n) const;
+
+  bool materialize_ = true;
+  Addr top_ = 0;
+  std::vector<float> data_;
+  std::vector<Allocation> allocs_;
+};
+
+}  // namespace swatop::sim

@@ -1,0 +1,32 @@
+#include "sim/reg_comm.hpp"
+
+namespace swatop::sim {
+
+RegCommBus::RegCommBus(const SimConfig& cfg) : cfg_(cfg) {}
+
+void RegCommBus::record_row_broadcast(std::int64_t floats) {
+  row_bytes_ += floats * static_cast<std::int64_t>(sizeof(float)) *
+                (cfg_.mesh_cols - 1);
+}
+
+void RegCommBus::record_col_broadcast(std::int64_t floats) {
+  col_bytes_ += floats * static_cast<std::int64_t>(sizeof(float)) *
+                (cfg_.mesh_rows - 1);
+}
+
+double RegCommBus::broadcast_cycles(std::int64_t floats) const {
+  // One bus owns 1/16 of the aggregate bandwidth (8 row + 8 column buses).
+  const double per_bus_bytes_per_cycle =
+      cfg_.reg_comm_bw_gbs / cfg_.clock_ghz / 16.0;
+  const double bytes =
+      static_cast<double>(floats) * static_cast<double>(sizeof(float));
+  return static_cast<double>(cfg_.reg_comm_latency) +
+         bytes / per_bus_bytes_per_cycle;
+}
+
+void RegCommBus::reset() {
+  row_bytes_ = 0;
+  col_bytes_ = 0;
+}
+
+}  // namespace swatop::sim

@@ -1,0 +1,45 @@
+#include "sim/spm.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace swatop::sim {
+
+Spm::Spm(const SimConfig& cfg) : data_(cfg.spm_floats(), 0.0f) {}
+
+void Spm::check_range(std::int64_t a, std::int64_t n) const {
+  SWATOP_CHECK(a >= 0 && n >= 0 &&
+               a + n <= static_cast<std::int64_t>(data_.size()))
+      << "SPM access [" << a << ", " << a + n << ") exceeds capacity "
+      << data_.size() << " floats";
+}
+
+float Spm::read(std::int64_t a) const {
+  check_range(a, 1);
+  return data_[static_cast<std::size_t>(a)];
+}
+
+void Spm::write(std::int64_t a, float v) {
+  check_range(a, 1);
+  data_[static_cast<std::size_t>(a)] = v;
+}
+
+std::span<float> Spm::view(std::int64_t a, std::int64_t n) {
+  check_range(a, n);
+  return {data_.data() + a, static_cast<std::size_t>(n)};
+}
+
+std::span<const float> Spm::view(std::int64_t a, std::int64_t n) const {
+  check_range(a, n);
+  return {data_.data() + a, static_cast<std::size_t>(n)};
+}
+
+void Spm::fill(std::int64_t a, std::int64_t n, float v) {
+  auto s = view(a, n);
+  std::fill(s.begin(), s.end(), v);
+}
+
+void Spm::clear() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+}  // namespace swatop::sim

@@ -1,0 +1,40 @@
+// Scratch pad memory (SPM / LDM) of a single CPE: 64 KB of software-managed
+// storage. swATOP's runtime addresses SPM by float offset; a bump allocator
+// (mirrored uniformly across all CPEs of a cluster, because execution is
+// SPMD) lives in CpeCluster.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace swatop::sim {
+
+class Spm {
+ public:
+  explicit Spm(const SimConfig& cfg);
+
+  std::int64_t capacity() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  float read(std::int64_t a) const;
+  void write(std::int64_t a, float v);
+
+  /// Bounds-checked span over [a, a + n).
+  std::span<float> view(std::int64_t a, std::int64_t n);
+  std::span<const float> view(std::int64_t a, std::int64_t n) const;
+
+  void fill(std::int64_t a, std::int64_t n, float v);
+
+  /// Zero the whole SPM (used between operator executions).
+  void clear();
+
+ private:
+  void check_range(std::int64_t a, std::int64_t n) const;
+  std::vector<float> data_;
+};
+
+}  // namespace swatop::sim

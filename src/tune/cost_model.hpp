@@ -1,0 +1,59 @@
+// The static performance model of the autotuner (Sec. 4.6).
+//
+// Walks a candidate's IR without iterating data: loop costs are the
+// first-iteration body cost times the trip count, DMA nodes are priced with
+// Eq. (1) (transaction-granular transfer + start-up latency), gemm nodes
+// with the fitted Eq. (2) linear model, and -- because prefetching overlaps
+// transfers and computation -- the overall estimate is
+// max(T_DMA, T_compute) for double-buffered programs and the sum otherwise.
+// The first-iteration approximation of boundary tiles and the linear-fit
+// residual are the model's (intentional, paper-faithful) error sources.
+#pragma once
+
+#include "ir/node.hpp"
+#include "rt/dma_expand.hpp"
+#include "sim/dma.hpp"
+#include "tune/gemm_model.hpp"
+
+namespace swatop::tune {
+
+struct StaticCost {
+  /// Transfers rewritten by double buffering: overlap with computation.
+  double dma_overlapped_cycles = 0.0;
+  /// Synchronous get;wait / put;wait transfers (the output accumulator
+  /// traffic, un-prefetched gets): the cluster stalls on these.
+  double dma_sync_cycles = 0.0;
+  double compute_cycles = 0.0;
+  bool overlapped = false;  ///< a prefetched loop was seen
+
+  double dma_cycles() const {
+    return dma_overlapped_cycles + dma_sync_cycles;
+  }
+
+  /// Sync transfers serialize with computation (and occupy the engine);
+  /// prefetched transfers hide behind whichever side is longer.
+  double total() const {
+    if (!overlapped) return dma_cycles() + compute_cycles;
+    return dma_sync_cycles +
+           std::max(dma_overlapped_cycles, compute_cycles);
+  }
+};
+
+class CostModel {
+ public:
+  CostModel(const sim::SimConfig& cfg, const GemmCostModel& gm)
+      : cfg_(cfg), engine_(cfg_), gm_(gm) {}
+
+  StaticCost estimate(const ir::StmtPtr& root) const;
+
+ private:
+  void walk(const ir::StmtPtr& s, ir::Env& env, StaticCost* acc,
+            double scale) const;
+
+  sim::SimConfig cfg_;
+  sim::DmaEngine engine_;
+  const GemmCostModel& gm_;
+  mutable rt::DmaCostCache dma_cost_cache_;
+};
+
+}  // namespace swatop::tune

@@ -1,0 +1,176 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <limits>
+
+#include "common/check.hpp"
+#include "rt/bind.hpp"
+#include "rt/interpreter.hpp"
+
+namespace swatop::tune {
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double measure_candidate(const dsl::OperatorDef& op,
+                         const sched::Candidate& cand,
+                         const sim::SimConfig& cfg) {
+  sim::CoreGroup cg(cfg);
+  cg.mem().set_materialize(false);
+  const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
+  rt::Interpreter interp(cg, sim::ExecMode::TimingOnly);
+  return interp.run(cand.program, bt).cycles;
+}
+
+sched::Candidate build_candidate(const dsl::OperatorDef& op,
+                                 const dsl::Strategy& s,
+                                 const sim::SimConfig& cfg, bool prefetch) {
+  ir::StmtPtr prog = op.lower(s);
+  SWATOP_CHECK(prog != nullptr)
+      << "strategy " << s.to_string() << " invalid for " << op.name();
+  opt::OptOptions o;
+  o.prefetch = prefetch && op.prefetch_enabled(s);
+  SWATOP_CHECK(opt::optimize(prog, cfg, o))
+      << "strategy " << s.to_string() << " pruned for " << op.name();
+  return {s, std::move(prog), o.prefetch};
+}
+
+double measure_strategy(const dsl::OperatorDef& op, const dsl::Strategy& s,
+                        const sim::SimConfig& cfg, bool prefetch) {
+  return measure_candidate(op, build_candidate(op, s, cfg, prefetch), cfg);
+}
+
+ModelTuner::ModelTuner(const sim::SimConfig& cfg) : cfg_(cfg) {}
+
+Tuned ModelTuner::tune(const dsl::OperatorDef& op,
+                       const sched::SchedulerOptions& opts) const {
+  const double t0 = now_seconds();
+  const sched::Scheduler sched(cfg_);
+  const CostModel model(cfg_, gemm_cost_model(cfg_));
+  std::vector<sched::Candidate> cands = sched.candidates(op, opts);
+  SWATOP_CHECK(!cands.empty())
+      << "no valid schedule candidate for " << op.name();
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const double t = model.estimate(cands[i].program).total();
+    if (t < best) {
+      best = t;
+      best_i = i;
+    }
+  }
+  Tuned out;
+  out.candidate = std::move(cands[best_i]);
+  out.cycles = best;
+  out.stats.space_size = sched.space_size(op);
+  out.stats.valid_candidates = static_cast<std::int64_t>(cands.size());
+  out.stats.seconds = now_seconds() - t0;
+  return out;
+}
+
+Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
+                             const sched::SchedulerOptions& opts) const {
+  SWATOP_CHECK(k >= 1) << "tune_top_k with k=" << k;
+  const double t0 = now_seconds();
+  const sched::Scheduler sched(cfg_);
+  const CostModel model(cfg_, gemm_cost_model(cfg_));
+  std::vector<sched::Candidate> cands = sched.candidates(op, opts);
+  SWATOP_CHECK(!cands.empty())
+      << "no valid schedule candidate for " << op.name();
+
+  // Rank by predicted cycles; keep the k best indices.
+  std::vector<std::pair<double, std::size_t>> ranked;
+  ranked.reserve(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    ranked.emplace_back(model.estimate(cands[i].program).total(), i);
+  const std::size_t keep =
+      std::min<std::size_t>(static_cast<std::size_t>(k), ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                    ranked.end());
+
+  // Measure the shortlist and keep the measured winner.
+  sim::CoreGroup cg(cfg_);
+  cg.mem().set_materialize(false);
+  const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
+  rt::Interpreter interp(cg, sim::ExecMode::TimingOnly);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (std::size_t r = 0; r < keep; ++r) {
+    const std::size_t i = ranked[r].second;
+    const double t = interp.run(cands[i].program, bt).cycles;
+    if (t < best) {
+      best = t;
+      best_i = i;
+    }
+  }
+  Tuned out;
+  out.candidate = std::move(cands[best_i]);
+  out.cycles = best;
+  out.stats.space_size = sched.space_size(op);
+  out.stats.valid_candidates = static_cast<std::int64_t>(cands.size());
+  out.stats.seconds = now_seconds() - t0;
+  return out;
+}
+
+BlackBoxTuner::Result BlackBoxTuner::tune(
+    const dsl::OperatorDef& op, const sched::SchedulerOptions& opts) const {
+  const double t0 = now_seconds();
+  const sched::Scheduler sched(cfg_);
+  std::vector<sched::Candidate> cands = sched.candidates(op, opts);
+  SWATOP_CHECK(!cands.empty())
+      << "no valid schedule candidate for " << op.name();
+
+  // Candidates are measured independently; fan out across hardware
+  // threads, one scratch core group per thread. (The machine under test is
+  // simulated, so concurrent measurements do not perturb each other --
+  // unlike the real black-box tuner this stands in for.)
+  Result res;
+  res.all_measured.assign(cands.size(), 0.0);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t nthreads =
+      std::max<std::size_t>(1, std::min<std::size_t>(hw ? hw : 1,
+                                                     cands.size()));
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> next{0};
+  for (std::size_t w = 0; w < nthreads; ++w) {
+    workers.emplace_back([&] {
+      sim::CoreGroup cg(cfg_);
+      cg.mem().set_materialize(false);
+      const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
+      rt::Interpreter interp(cg, sim::ExecMode::TimingOnly);
+      for (std::size_t i = next.fetch_add(1); i < cands.size();
+           i = next.fetch_add(1)) {
+        res.all_measured[i] = interp.run(cands[i].program, bt).cycles;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (res.all_measured[i] < best) {
+      best = res.all_measured[i];
+      best_i = i;
+    }
+  }
+  res.best.candidate = std::move(cands[best_i]);
+  res.best.cycles = best;
+  res.best.stats.space_size = sched.space_size(op);
+  res.best.stats.valid_candidates = static_cast<std::int64_t>(cands.size());
+  res.best.stats.seconds = now_seconds() - t0;
+  return res;
+}
+
+}  // namespace swatop::tune

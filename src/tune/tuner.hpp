@@ -1,0 +1,85 @@
+// The two autotuners of Sec. 4.6.
+//
+// The black-box autotuner is the baseline: it *runs* every schedule
+// candidate (here: through the loop-by-loop timing interpreter, this
+// reproduction's stand-in for executing on the SW26010) and keeps the
+// fastest. The performance-model-based autotuner evaluates the static cost
+// model on every candidate instead -- orders of magnitude cheaper per
+// candidate -- and picks the predicted best. Table 3 measures the time
+// ratio; Fig. 9 measures the performance the model-picked candidate leaves
+// on the table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+#include "sched/scheduler.hpp"
+#include "tune/cost_model.hpp"
+
+namespace swatop::tune {
+
+struct TunerStats {
+  std::int64_t space_size = 0;        ///< raw schedule-space size
+  std::int64_t valid_candidates = 0;  ///< survivors of validity pruning
+  double seconds = 0.0;               ///< wall-clock tuning time
+};
+
+struct Tuned {
+  sched::Candidate candidate;
+  double cycles = 0.0;  ///< model-predicted (ModelTuner) or measured (BlackBox)
+  TunerStats stats;
+};
+
+/// Measure one candidate with the timing interpreter on a scratch core
+/// group (non-materialized memory, so huge workloads cost no RAM).
+double measure_candidate(const dsl::OperatorDef& op,
+                         const sched::Candidate& cand,
+                         const sim::SimConfig& cfg);
+
+/// Lower + optimize one explicit strategy (how a fixed manual schedule is
+/// built) and measure it. Throws CheckError if the strategy is invalid for
+/// the operator.
+double measure_strategy(const dsl::OperatorDef& op, const dsl::Strategy& s,
+                        const sim::SimConfig& cfg, bool prefetch = true);
+
+/// Build the optimized candidate for one explicit strategy.
+sched::Candidate build_candidate(const dsl::OperatorDef& op,
+                                 const dsl::Strategy& s,
+                                 const sim::SimConfig& cfg,
+                                 bool prefetch = true);
+
+class ModelTuner {
+ public:
+  explicit ModelTuner(const sim::SimConfig& cfg);
+
+  Tuned tune(const dsl::OperatorDef& op,
+             const sched::SchedulerOptions& opts = {}) const;
+
+  /// The paper's "pick best (or top k)" refinement: rank candidates with
+  /// the static model, then *measure* the k best through the timing
+  /// interpreter and keep the measured winner. k times the measurement cost
+  /// buys back most of the model's residual error (Fig. 9's tail).
+  Tuned tune_top_k(const dsl::OperatorDef& op, int k,
+                   const sched::SchedulerOptions& opts = {}) const;
+
+ private:
+  sim::SimConfig cfg_;
+};
+
+class BlackBoxTuner {
+ public:
+  explicit BlackBoxTuner(const sim::SimConfig& cfg) : cfg_(cfg) {}
+
+  struct Result {
+    Tuned best;
+    std::vector<double> all_measured;  ///< per candidate, scheduler order
+  };
+  Result tune(const dsl::OperatorDef& op,
+              const sched::SchedulerOptions& opts = {}) const;
+
+ private:
+  sim::SimConfig cfg_;
+};
+
+}  // namespace swatop::tune

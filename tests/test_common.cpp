@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/least_squares.hpp"
+#include "common/math_util.hpp"
+
+namespace swatop {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_THROW(ceil_div(4, 0), CheckError);
+  EXPECT_THROW(ceil_div(-1, 4), CheckError);
+}
+
+TEST(MathUtil, AlignUpDown) {
+  EXPECT_EQ(align_up(0, 32), 0);
+  EXPECT_EQ(align_up(1, 32), 32);
+  EXPECT_EQ(align_up(32, 32), 32);
+  EXPECT_EQ(align_up(33, 32), 64);
+  EXPECT_EQ(align_down(33, 32), 32);
+  EXPECT_EQ(align_down(31, 32), 0);
+}
+
+TEST(MathUtil, Divisors) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(16), (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+  EXPECT_THROW(divisors(0), CheckError);
+}
+
+TEST(MathUtil, SplitFactors) {
+  const auto fs = split_factors(12);
+  // Divisors of 12 plus powers of two up to 12, deduped, sorted.
+  EXPECT_EQ(fs, (std::vector<std::int64_t>{1, 2, 3, 4, 6, 8, 12}));
+  const auto capped = split_factors(12, 4);
+  EXPECT_EQ(capped, (std::vector<std::int64_t>{1, 2, 3, 4}));
+}
+
+TEST(MathUtil, Gcd) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(7, 13), 1);
+  EXPECT_EQ(gcd(0, 5), 5);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    SWATOP_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(LeastSquares, SolvesExactSystem) {
+  // y = 2x + 3.
+  std::vector<double> X = {1, 1, 2, 1, 3, 1, 4, 1};
+  std::vector<double> y = {5, 7, 9, 11};
+  const auto b = least_squares(X, y, 4, 2);
+  EXPECT_NEAR(b[0], 2.0, 1e-9);
+  EXPECT_NEAR(b[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquares, MinimizesResidualOnNoisyData) {
+  // y = 4x - 1 with symmetric perturbation: fit must recover the line.
+  std::vector<double> X, y;
+  for (int i = 0; i < 10; ++i) {
+    X.push_back(i);
+    X.push_back(1);
+    y.push_back(4.0 * i - 1.0 + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const auto b = least_squares(X, y, 10, 2);
+  EXPECT_NEAR(b[0], 4.0, 0.05);
+  EXPECT_NEAR(b[1], -1.0, 0.5);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  std::vector<double> X = {1, 2};
+  std::vector<double> y = {1};
+  EXPECT_THROW(least_squares(X, y, 1, 2), CheckError);
+}
+
+TEST(SolveLinear, PivotsOnZeroDiagonal) {
+  // [[0, 1], [1, 0]] x = [2, 3] -> x = [3, 2].
+  const auto x = solve_linear({0, 1, 1, 0}, {2, 3}, 2);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, ThrowsOnSingular) {
+  EXPECT_THROW(solve_linear({1, 2, 2, 4}, {1, 2}, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace swatop

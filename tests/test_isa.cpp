@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "isa/kernel_cache.hpp"
+#include "isa/kernel_gen.hpp"
+#include "isa/pipeline.hpp"
+
+namespace swatop::isa {
+namespace {
+
+sim::SimConfig cfg;
+
+TEST(Instr, PipeClassification) {
+  EXPECT_EQ(pipe_of(Opcode::vmad), Pipe::P0);
+  EXPECT_EQ(pipe_of(Opcode::vldd), Pipe::P1);
+  EXPECT_EQ(pipe_of(Opcode::vlddr), Pipe::P1);
+  EXPECT_EQ(pipe_of(Opcode::addi), Pipe::Either);
+}
+
+TEST(Instr, StoresDoNotTrackDestination) {
+  EXPECT_FALSE(writes_register(Opcode::vstd));
+  EXPECT_TRUE(writes_register(Opcode::vmad));
+}
+
+TEST(Instr, ToString) {
+  Instr i{Opcode::vmad, 3, 1, 2, 3};
+  EXPECT_EQ(i.to_string(), "vmad r3, r1, r2, r3");
+}
+
+TEST(Pipeline, IndependentOpsDualIssue) {
+  // One P0 op and one P1 op with no dependencies issue in the same cycle.
+  std::vector<Instr> code = {
+      {Opcode::vmul, 10, 1, 2, -1},
+      {Opcode::vldd, 11, -1, -1, -1},
+  };
+  PipelineSim sim(cfg);
+  const auto r = sim.run(code);
+  EXPECT_EQ(r.issued_p0, 1);
+  EXPECT_EQ(r.issued_p1, 1);
+  // Both issue at cycle 0; completion bounded by the slower latency.
+  EXPECT_LE(r.cycles, std::max(latency_of(Opcode::vmul, cfg),
+                               latency_of(Opcode::vldd, cfg)));
+}
+
+TEST(Pipeline, RawHazardStalls) {
+  // Consumer must wait for the producer's latency.
+  std::vector<Instr> code = {
+      {Opcode::vldd, 5, -1, -1, -1},
+      {Opcode::vmad, 6, 5, 5, 6},
+  };
+  PipelineSim sim(cfg);
+  const auto r = sim.run(code);
+  EXPECT_GE(r.cycles,
+            latency_of(Opcode::vldd, cfg) + latency_of(Opcode::vmad, cfg));
+  EXPECT_GT(r.stall_cycles, 0);
+}
+
+TEST(Pipeline, SamePipeSerializes) {
+  std::vector<Instr> code = {
+      {Opcode::vmul, 10, 1, 2, -1},
+      {Opcode::vmul, 11, 3, 4, -1},
+      {Opcode::vmul, 12, 5, 6, -1},
+  };
+  PipelineSim sim(cfg);
+  const auto r = sim.run(code);
+  // Three P0 ops need at least 3 issue cycles.
+  EXPECT_GE(r.cycles, 3);
+}
+
+TEST(Pipeline, SteadyStateConverges) {
+  // A self-contained body: its steady-state rate must be issue-bound.
+  std::vector<Instr> body;
+  for (int i = 0; i < 8; ++i) body.push_back({Opcode::vmul, 10 + i, 1, 2, -1});
+  PipelineSim sim(cfg);
+  const double per = sim.steady_state_cycles(body);
+  EXPECT_NEAR(per, 8.0, 0.5);
+}
+
+TEST(KernelGen, SixteenVmadsInSixteenCycles) {
+  // The paper's headline property: the favourable-layout 4x4 kernel
+  // sustains 16 vmads per k-iteration in ~16 cycles.
+  const KernelVariant v = KernelVariant::from_index(0);
+  ASSERT_TRUE(v.vector_operand_contiguous());
+  const auto body = emit_kernel_pair(v, RegBlock{4, 4}, cfg);
+  PipelineSim sim(cfg);
+  const double per_iter = sim.steady_state_cycles(body) / 2.0;
+  EXPECT_NEAR(per_iter, 16.0, 1.0);
+}
+
+TEST(KernelGen, UnfavourableLayoutIsSlower) {
+  // A row-major A under vec-M needs scalar lane assembly: more P1 traffic.
+  const KernelVariant good = KernelVariant::from_index(0);
+  const KernelVariant bad = KernelVariant::from_index(1);  // A row-major
+  ASSERT_FALSE(bad.vector_operand_contiguous());
+  PipelineSim sim(cfg);
+  const double tg =
+      sim.steady_state_cycles(emit_kernel_pair(good, {4, 4}, cfg));
+  const double tb =
+      sim.steady_state_cycles(emit_kernel_pair(bad, {4, 4}, cfg));
+  EXPECT_GT(tb, tg * 1.2);
+}
+
+TEST(KernelGen, EightVariantsRoundTrip) {
+  for (int i = 0; i < 8; ++i) {
+    const KernelVariant v = KernelVariant::from_index(i);
+    EXPECT_EQ(v.index(), i);
+    EXPECT_FALSE(v.name().empty());
+  }
+  EXPECT_EQ(all_kernel_variants().size(), 8u);
+}
+
+TEST(KernelGen, PrologueEpilogueSizes) {
+  EXPECT_EQ(emit_block_prologue({4, 4}).size(), 16u);
+  EXPECT_EQ(emit_block_epilogue({4, 4}).size(), 16u);
+  EXPECT_EQ(emit_block_prologue({2, 1}).size(), 2u);
+}
+
+TEST(KernelCostDb, SmallerBlocksLessEfficient) {
+  const KernelCostDb db(cfg);
+  const KernelVariant v = KernelVariant::from_index(0);
+  // Per-MAC cost of a 1x1 block is worse than a 4x4 block (RAW on the
+  // accumulator register cannot be hidden).
+  const double c44 = db.per_iter_cycles(v, {4, 4}) / 16.0;
+  const double c11 = db.per_iter_cycles(v, {1, 1}) / 1.0;
+  EXPECT_GT(c11, 2.0 * c44);
+}
+
+TEST(KernelCostDb, LocalGemmScalesWithK) {
+  const KernelCostDb db(cfg);
+  const KernelVariant v = KernelVariant::from_index(0);
+  const double t1 = db.local_gemm_cycles(v, 16, 16, 8);
+  const double t2 = db.local_gemm_cycles(v, 16, 16, 16);
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, 2.2 * t1);
+}
+
+TEST(KernelCostDb, LocalGemmHandlesRaggedScalarDim) {
+  const KernelCostDb db(cfg);
+  const KernelVariant v = KernelVariant::from_index(0);
+  // n = 7 decomposes into 4 + 2 + 1 blocks; must cost more than n = 4 and
+  // less than n = 12.
+  const double t4 = db.local_gemm_cycles(v, 16, 4, 8);
+  const double t7 = db.local_gemm_cycles(v, 16, 7, 8);
+  const double t12 = db.local_gemm_cycles(v, 16, 12, 8);
+  EXPECT_GT(t7, t4);
+  EXPECT_LT(t7, t12);
+}
+
+TEST(KernelCostDb, VectorDimMustBeAligned) {
+  const KernelCostDb db(cfg);
+  const KernelVariant v = KernelVariant::from_index(0);  // vec-M
+  EXPECT_THROW(db.local_gemm_cycles(v, 6, 4, 8), CheckError);
+}
+
+TEST(KernelCostDb, SpmGemmRequiresMeshDivisibility) {
+  const KernelCostDb db(cfg);
+  const KernelVariant v = KernelVariant::from_index(0);
+  EXPECT_GT(db.spm_gemm_cycles(v, 64, 64, 32), 0.0);
+  EXPECT_THROW(db.spm_gemm_cycles(v, 60, 64, 32), CheckError);
+}
+
+TEST(KernelCostDb, NearPeakThroughputOnBigTiles) {
+  // A 256x256x256 spm_gemm at 16 cycles per 16 vmads on 64 CPEs should
+  // approach peak: 2*M*N*K flops / cycles close to 512 flops/cycle.
+  const KernelCostDb db(cfg);
+  const KernelVariant v = KernelVariant::from_index(0);
+  const double cycles = db.spm_gemm_cycles(v, 256, 256, 256);
+  const double fpc = 2.0 * 256 * 256 * 256 / cycles;
+  EXPECT_GT(fpc, 0.6 * cfg.peak_flops_per_cycle());
+  EXPECT_LE(fpc, cfg.peak_flops_per_cycle() * 1.01);
+}
+
+}  // namespace
+}  // namespace swatop::isa

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "ops/reference.hpp"
+#include "ops/tensor.hpp"
+#include "prim/dma_primitive.hpp"
+#include "prim/gemm_primitive.hpp"
+#include "prim/pack.hpp"
+
+namespace swatop::prim {
+namespace {
+
+/// Scatter a host column-major matrix into the cluster SPMs at `spm_addr`
+/// with the distribution spm_gemm expects for a col-major operand: CPE
+/// (r, c) holds row-block r x col-block c, stored col-major. When
+/// `transposed`, store the tile row-major and swap the block mapping (what
+/// DMA inference does for row-major kernel operands).
+void scatter_host(sim::CoreGroup& cg, const std::vector<float>& m,
+                  std::int64_t rows, std::int64_t cols, std::int64_t spm_addr,
+                  bool transposed) {
+  const auto& cfg = cg.config();
+  const std::int64_t tr = rows / cfg.mesh_rows;
+  const std::int64_t tc = cols / cfg.mesh_cols;
+  for (int r = 0; r < cfg.mesh_rows; ++r) {
+    for (int c = 0; c < cfg.mesh_cols; ++c) {
+      sim::Spm& spm = cg.cluster().at(r, c).spm();
+      for (std::int64_t i = 0; i < tr; ++i) {
+        for (std::int64_t j = 0; j < tc; ++j) {
+          const float v = m[static_cast<std::size_t>(
+              (r * tr + i) + (c * tc + j) * rows)];
+          const std::int64_t at =
+              transposed ? spm_addr + j + i * tc : spm_addr + i + j * tr;
+          spm.write(at, v);
+        }
+      }
+    }
+  }
+}
+
+/// Gather the C tile grid back into a host column-major matrix.
+std::vector<float> gather_c(sim::CoreGroup& cg, std::int64_t rows,
+                            std::int64_t cols, std::int64_t spm_addr,
+                            bool row_major_tiles) {
+  const auto& cfg = cg.config();
+  const std::int64_t tr = rows / cfg.mesh_rows;
+  const std::int64_t tc = cols / cfg.mesh_cols;
+  std::vector<float> out(static_cast<std::size_t>(rows * cols));
+  for (int r = 0; r < cfg.mesh_rows; ++r) {
+    for (int c = 0; c < cfg.mesh_cols; ++c) {
+      sim::Spm& spm = cg.cluster().at(r, c).spm();
+      for (std::int64_t i = 0; i < tr; ++i) {
+        for (std::int64_t j = 0; j < tc; ++j) {
+          const std::int64_t at = row_major_tiles ? spm_addr + j + i * tc
+                                                  : spm_addr + i + j * tr;
+          out[static_cast<std::size_t>((r * tr + i) + (c * tc + j) * rows)] =
+              spm.read(at);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class SpmGemmVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmGemmVariants, MatchesReference) {
+  const auto variant = isa::KernelVariant::from_index(GetParam());
+  const std::int64_t M = 32, N = 32, K = 16;
+  sim::CoreGroup cg;
+  ops::Prng rng(GetParam() + 1);
+  std::vector<float> A(static_cast<std::size_t>(M * K));
+  std::vector<float> B(static_cast<std::size_t>(K * N));
+  for (float& v : A) v = rng.next();
+  for (float& v : B) v = rng.next();
+
+  const auto fp = spm_gemm_footprint(M, N, K, cg.config());
+  const std::int64_t a_spm = cg.cluster().spm_alloc(fp.a_floats, "A");
+  const std::int64_t b_spm = cg.cluster().spm_alloc(fp.b_floats, "B");
+  const std::int64_t c_spm = cg.cluster().spm_alloc(fp.c_floats, "C");
+
+  scatter_host(cg, A, M, K, a_spm, !variant.a_col_major);
+  scatter_host(cg, B, K, N, b_spm, !variant.b_col_major);
+
+  SpmGemmArgs args;
+  args.M = M;
+  args.N = N;
+  args.K = K;
+  args.beta = 0.0f;
+  args.a_spm = a_spm;
+  args.b_spm = b_spm;
+  args.c_spm = c_spm;
+  args.variant = variant;
+  spm_gemm(cg, args, sim::ExecMode::Functional);
+
+  std::vector<float> ref(static_cast<std::size_t>(M * N));
+  ops::reference_gemm(A.data(), B.data(), ref.data(), M, N, K);
+  const auto got =
+      gather_c(cg, M, N, c_spm, variant.vec == isa::VecDim::N);
+  EXPECT_LE(ops::max_abs_diff(got.data(), ref.data(), M * N), 1e-4);
+  EXPECT_GT(cg.now(), 0.0);
+  EXPECT_EQ(cg.stats().flops, 2 * M * N * K);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEightVariants, SpmGemmVariants,
+                         ::testing::Range(0, 8));
+
+TEST(SpmGemm, AlphaBetaSemantics) {
+  const std::int64_t M = 32, N = 32, K = 8;
+  sim::CoreGroup cg;
+  const auto fp = spm_gemm_footprint(M, N, K, cg.config());
+  const auto a = cg.cluster().spm_alloc(fp.a_floats);
+  const auto b = cg.cluster().spm_alloc(fp.b_floats);
+  const auto c = cg.cluster().spm_alloc(fp.c_floats);
+  std::vector<float> A(static_cast<std::size_t>(M * K), 1.0f);
+  std::vector<float> B(static_cast<std::size_t>(K * N), 1.0f);
+  scatter_host(cg, A, M, K, a, false);
+  scatter_host(cg, B, K, N, b, false);
+  // Pre-load C with 2.0 everywhere.
+  for (int r = 0; r < 8; ++r)
+    for (int cc = 0; cc < 8; ++cc)
+      cg.cluster().at(r, cc).spm().fill(c, fp.c_floats, 2.0f);
+
+  SpmGemmArgs args;
+  args.M = M;
+  args.N = N;
+  args.K = K;
+  args.alpha = 0.5f;
+  args.beta = 3.0f;
+  args.a_spm = a;
+  args.b_spm = b;
+  args.c_spm = c;
+  args.variant = isa::KernelVariant::from_index(0);
+  spm_gemm(cg, args, sim::ExecMode::Functional);
+  // C = beta * 2 + alpha * K = 6 + 4 = 10 everywhere.
+  const auto got = gather_c(cg, M, N, c, false);
+  for (float v : got) EXPECT_FLOAT_EQ(v, 10.0f);
+}
+
+TEST(SpmGemm, RejectsInvalidDims) {
+  sim::CoreGroup cg;
+  SpmGemmArgs args;
+  args.M = 30;  // not divisible by 8
+  args.N = 32;
+  args.K = 8;
+  EXPECT_THROW(spm_gemm(cg, args, sim::ExecMode::TimingOnly), CheckError);
+  args.M = 8;  // vec-M local dim 1, not a multiple of 4
+  EXPECT_THROW(spm_gemm(cg, args, sim::ExecMode::TimingOnly), CheckError);
+}
+
+TEST(SpmGemm, ValidityPredicate) {
+  sim::SimConfig cfg;
+  const auto vm = isa::KernelVariant::from_index(0);  // vec-M
+  const auto vn = isa::KernelVariant::from_index(4);  // vec-N
+  EXPECT_TRUE(spm_gemm_valid(32, 8, 8, vm, cfg));
+  EXPECT_FALSE(spm_gemm_valid(8, 32, 8, vm, cfg));
+  EXPECT_TRUE(spm_gemm_valid(8, 32, 8, vn, cfg));
+  EXPECT_FALSE(spm_gemm_valid(0, 32, 8, vn, cfg));
+}
+
+TEST(DmaPrimitive, Scatter2dMatchesPaperExample) {
+  // Paper Sec. 4.5.1: col-major A(M, N), each CPE reads tile (rid, cid):
+  // block = M/8, stride = M*7/8, offset = (cid*N/8)*M + rid*M/8.
+  sim::SimConfig cfg;
+  const std::int64_t M = 64, N = 128;
+  const auto descs =
+      scatter_2d(cfg, 0, M, N, M, 0, sim::DmaDir::MemToSpm);
+  ASSERT_EQ(descs.size(), 64u);
+  for (int rid = 0; rid < 8; ++rid) {
+    for (int cid = 0; cid < 8; ++cid) {
+      const auto& d = descs[static_cast<std::size_t>(rid * 8 + cid)];
+      EXPECT_EQ(d.block, M / 8);
+      EXPECT_EQ(d.stride, M * 7 / 8);
+      EXPECT_EQ(d.mem_base, (cid * (N / 8)) * M + rid * (M / 8));
+      EXPECT_EQ(d.total, (M / 8) * (N / 8));
+    }
+  }
+}
+
+TEST(DmaPrimitive, ScatterGatherRoundTrip) {
+  sim::CoreGroup cg;
+  const std::int64_t M = 32, N = 16;
+  const auto src = cg.mem().alloc(M * N, "src");
+  const auto dst = cg.mem().alloc(M * N, "dst");
+  for (std::int64_t i = 0; i < M * N; ++i)
+    cg.mem().write(src + i, static_cast<float>(i));
+  const std::int64_t spm = cg.cluster().spm_alloc((M / 8) * (N / 8));
+
+  auto get = scatter_2d(cg.config(), src, M, N, M, spm,
+                        sim::DmaDir::MemToSpm);
+  ReplyWord r1 = swdma(cg, get, sim::ExecMode::Functional);
+  swdma_wait(cg, r1);
+  auto put = scatter_2d(cg.config(), dst, M, N, M, spm,
+                        sim::DmaDir::SpmToMem);
+  ReplyWord r2 = swdma(cg, put, sim::ExecMode::Functional);
+  swdma_wait(cg, r2);
+  for (std::int64_t i = 0; i < M * N; ++i)
+    EXPECT_FLOAT_EQ(cg.mem().read(dst + i), static_cast<float>(i));
+}
+
+TEST(DmaPrimitive, ReplicateLoadsSameDataEverywhere) {
+  sim::CoreGroup cg;
+  const auto src = cg.mem().alloc(16);
+  cg.mem().write(src + 7, 3.5f);
+  const std::int64_t spm = cg.cluster().spm_alloc(16);
+  auto descs = replicate_1d(cg.config(), src, 16, spm);
+  ReplyWord r = swdma(cg, descs, sim::ExecMode::Functional);
+  swdma_wait(cg, r);
+  EXPECT_FLOAT_EQ(cg.cluster().at(0, 0).spm().read(spm + 7), 3.5f);
+  EXPECT_FLOAT_EQ(cg.cluster().at(7, 3).spm().read(spm + 7), 3.5f);
+}
+
+TEST(DmaPrimitive, Scatter2dRejectsBadGeometry) {
+  sim::SimConfig cfg;
+  EXPECT_THROW(scatter_2d(cfg, 0, 60, 64, 60, 0, sim::DmaDir::MemToSpm),
+               CheckError);
+  EXPECT_THROW(scatter_2d(cfg, 0, 64, 64, 32, 0, sim::DmaDir::MemToSpm),
+               CheckError);
+}
+
+TEST(Pack, PadFullZeroExtends) {
+  sim::CoreGroup cg;
+  const std::int64_t M = 3, N = 2;
+  const auto src = cg.mem().alloc(M * N);
+  for (std::int64_t i = 0; i < M * N; ++i)
+    cg.mem().write(src + i, static_cast<float>(i + 1));
+  const auto dst = pad_full(cg, src, M, N, M, 5, 4, sim::ExecMode::Functional);
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 0), 1.0f);
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 2), 3.0f);
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 3), 0.0f);   // padded row
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 5), 4.0f);   // col 1 starts at ld=5
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 10), 0.0f);  // padded col
+  EXPECT_GT(cg.now(), 0.0);
+}
+
+TEST(Pack, LightweightPadCopiesOnlyBoundary) {
+  sim::CoreGroup cg;
+  const std::int64_t rows = 10, cols = 6, tile_r = 4, tile_c = 4;
+  const auto src = cg.mem().alloc(rows * cols);
+  for (std::int64_t i = 0; i < rows * cols; ++i)
+    cg.mem().write(src + i, 1.0f);
+  const auto pad = pad_lightweight(cg, src, rows, cols, rows, tile_r, tile_c,
+                                   sim::ExecMode::Functional);
+  // Ragged: 2 rows at the bottom, 2 cols at the right.
+  EXPECT_NE(pad.right, -1);
+  EXPECT_NE(pad.bottom, -1);
+  // Far less data copied than the full matrix.
+  EXPECT_LT(pad.copied_floats, rows * cols);
+  EXPECT_EQ(pad.copied_floats, rows * 2 + 2 * 4);
+}
+
+TEST(Pack, TransposeFunctional) {
+  sim::CoreGroup cg;
+  const std::int64_t M = 3, N = 4;
+  const auto src = cg.mem().alloc(M * N);
+  for (std::int64_t j = 0; j < N; ++j)
+    for (std::int64_t i = 0; i < M; ++i)
+      cg.mem().write(src + i + j * M, static_cast<float>(i * 10 + j));
+  const auto dst = transpose(cg, src, M, N, sim::ExecMode::Functional);
+  for (std::int64_t j = 0; j < N; ++j)
+    for (std::int64_t i = 0; i < M; ++i)
+      EXPECT_FLOAT_EQ(cg.mem().read(dst + j + i * N),
+                      static_cast<float>(i * 10 + j));
+}
+
+TEST(Pack, CopyBlockRespectsLeadingDims) {
+  sim::CoreGroup cg;
+  const auto src = cg.mem().alloc(8 * 4);
+  const auto dst = cg.mem().alloc(16 * 4);
+  for (std::int64_t i = 0; i < 32; ++i)
+    cg.mem().write(src + i, static_cast<float>(i));
+  copy_block(cg, src, 8, dst, 16, 4, 3, sim::ExecMode::Functional);
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 0), 0.0f);
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 16), 8.0f);   // col 1
+  EXPECT_FLOAT_EQ(cg.mem().read(dst + 32 + 3), 19.0f);
+}
+
+}  // namespace
+}  // namespace swatop::prim

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "ir/analysis.hpp"
+#include "ops/matmul.hpp"
+#include "sched/lower.hpp"
+#include "sched/scheduler.hpp"
+
+namespace swatop::sched {
+namespace {
+
+sim::SimConfig cfg;
+
+TEST(Lower, BuildNestOrdersLoops) {
+  std::vector<LoopSpec> loops = {{"a", ir::cst(2), false},
+                                 {"b", ir::cst(3), true}};
+  auto prog = build_nest(loops, ir::make_comment("body"));
+  ASSERT_EQ(prog->kind, ir::StmtKind::Seq);
+  const auto& outer = prog->body[0];
+  EXPECT_EQ(outer->var, "a");
+  EXPECT_FALSE(outer->reduction);
+  const auto& inner = outer->for_body->body[0];
+  EXPECT_EQ(inner->var, "b");
+  EXPECT_TRUE(inner->reduction);
+}
+
+TEST(Lower, OrderLoopsPermutes) {
+  const std::vector<std::pair<char, LoopSpec>> dims = {
+      {'m', {"m", ir::cst(1), false}},
+      {'n', {"n", ir::cst(1), false}},
+      {'k', {"k", ir::cst(1), true}},
+  };
+  const auto out = order_loops("knm", dims);
+  EXPECT_EQ(out[0].var, "k");
+  EXPECT_EQ(out[1].var, "n");
+  EXPECT_EQ(out[2].var, "m");
+}
+
+TEST(Lower, OrderLoopsRejectsBadStrings) {
+  const std::vector<std::pair<char, LoopSpec>> dims = {
+      {'m', {"m", ir::cst(1), false}},
+      {'n', {"n", ir::cst(1), false}},
+  };
+  EXPECT_THROW(order_loops("mx", dims), CheckError);
+  EXPECT_THROW(order_loops("m", dims), CheckError);
+}
+
+TEST(Scheduler, ProducesValidOptimizedCandidates) {
+  ops::MatmulOp op(64, 64, 32);
+  Scheduler sched(cfg);
+  const auto cands = sched.candidates(op);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_LT(static_cast<std::int64_t>(cands.size()), sched.space_size(op));
+  for (const auto& c : cands) {
+    // Every candidate went through DMA inference and fits the SPM.
+    EXPECT_TRUE(ir::contains_kind(c.program, ir::StmtKind::DmaGet));
+    EXPECT_LE(ir::spm_footprint(c.program), cfg.spm_floats());
+  }
+}
+
+TEST(Scheduler, SpaceSizeMatchesDsl) {
+  ops::MatmulOp op(64, 64, 32);
+  Scheduler sched(cfg);
+  EXPECT_EQ(sched.space_size(op), op.space().size());
+}
+
+TEST(Scheduler, MaxCandidatesCaps) {
+  ops::MatmulOp op(64, 64, 32);
+  Scheduler sched(cfg);
+  SchedulerOptions opts;
+  opts.max_candidates = 5;
+  EXPECT_EQ(sched.candidates(op, opts).size(), 5u);
+}
+
+TEST(Scheduler, AlignedShapeDropsSwitchCandidates) {
+  // With no ragged dims, boundary="switch" lowers to nullptr and only the
+  // pad variants remain -- the space halves.
+  ops::MatmulOp op(64, 64, 32);
+  Scheduler sched(cfg);
+  const auto cands = sched.candidates(op);
+  for (const auto& c : cands)
+    EXPECT_EQ(c.strategy.choice("boundary"), "pad");
+}
+
+TEST(Scheduler, UnalignedShapeKeepsLegalSwitch) {
+  // 192 % 128 = 64: switch-legal remainder, both strategies survive.
+  ops::MatmulOp op(192, 64, 32);
+  Scheduler sched(cfg);
+  const auto cands = sched.candidates(op);
+  bool has_switch = false, has_pad = false;
+  for (const auto& c : cands) {
+    has_switch = has_switch || c.strategy.choice("boundary") == "switch";
+    has_pad = has_pad || c.strategy.choice("boundary") == "pad";
+  }
+  EXPECT_TRUE(has_switch);
+  EXPECT_TRUE(has_pad);
+}
+
+}  // namespace
+}  // namespace swatop::sched
