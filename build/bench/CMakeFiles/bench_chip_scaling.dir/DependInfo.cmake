@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_chip_scaling.cpp" "bench/CMakeFiles/bench_chip_scaling.dir/ablation_chip_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_chip_scaling.dir/ablation_chip_scaling.cpp.o.d"
+  "/root/repo/bench/bench_util.cpp" "bench/CMakeFiles/bench_chip_scaling.dir/bench_util.cpp.o" "gcc" "bench/CMakeFiles/bench_chip_scaling.dir/bench_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_prim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chip_scaling.dir/ablation_chip_scaling.cpp.o"
+  "CMakeFiles/bench_chip_scaling.dir/ablation_chip_scaling.cpp.o.d"
+  "CMakeFiles/bench_chip_scaling.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_chip_scaling.dir/bench_util.cpp.o.d"
+  "bench_chip_scaling"
+  "bench_chip_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chip_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

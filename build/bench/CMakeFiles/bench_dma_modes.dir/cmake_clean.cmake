@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dma_modes.dir/ablation_dma_modes.cpp.o"
+  "CMakeFiles/bench_dma_modes.dir/ablation_dma_modes.cpp.o.d"
+  "CMakeFiles/bench_dma_modes.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_dma_modes.dir/bench_util.cpp.o.d"
+  "bench_dma_modes"
+  "bench_dma_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dma_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prefetch.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig10_prefetch.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig10_prefetch.dir/fig10_prefetch.cpp.o"
+  "CMakeFiles/bench_fig10_prefetch.dir/fig10_prefetch.cpp.o.d"
+  "bench_fig10_prefetch"
+  "bench_fig10_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_padding.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig11_padding.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig11_padding.dir/fig11_padding.cpp.o"
+  "CMakeFiles/bench_fig11_padding.dir/fig11_padding.cpp.o.d"
+  "bench_fig11_padding"
+  "bench_fig11_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

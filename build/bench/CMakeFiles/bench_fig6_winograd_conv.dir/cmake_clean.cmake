@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_winograd_conv.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig6_winograd_conv.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig6_winograd_conv.dir/fig6_winograd_conv.cpp.o"
+  "CMakeFiles/bench_fig6_winograd_conv.dir/fig6_winograd_conv.cpp.o.d"
+  "bench_fig6_winograd_conv"
+  "bench_fig6_winograd_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_winograd_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_explicit_conv.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig7_explicit_conv.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig7_explicit_conv.dir/fig7_explicit_conv.cpp.o"
+  "CMakeFiles/bench_fig7_explicit_conv.dir/fig7_explicit_conv.cpp.o.d"
+  "bench_fig7_explicit_conv"
+  "bench_fig7_explicit_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_explicit_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

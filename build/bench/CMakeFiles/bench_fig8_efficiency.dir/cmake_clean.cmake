@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_efficiency.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig8_efficiency.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_fig8_efficiency.dir/fig8_efficiency.cpp.o"
+  "CMakeFiles/bench_fig8_efficiency.dir/fig8_efficiency.cpp.o.d"
+  "bench_fig8_efficiency"
+  "bench_fig8_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_variants.dir/ablation_kernel_variants.cpp.o"
+  "CMakeFiles/bench_kernel_variants.dir/ablation_kernel_variants.cpp.o.d"
+  "CMakeFiles/bench_kernel_variants.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_kernel_variants.dir/bench_util.cpp.o.d"
+  "bench_kernel_variants"
+  "bench_kernel_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

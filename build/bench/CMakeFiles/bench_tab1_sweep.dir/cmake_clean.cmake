@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_sweep.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_tab1_sweep.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_tab1_sweep.dir/tab1_sweep.cpp.o"
+  "CMakeFiles/bench_tab1_sweep.dir/tab1_sweep.cpp.o.d"
+  "bench_tab1_sweep"
+  "bench_tab1_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_gemm.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_tab2_gemm.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_tab2_gemm.dir/tab2_gemm.cpp.o"
+  "CMakeFiles/bench_tab2_gemm.dir/tab2_gemm.cpp.o.d"
+  "bench_tab2_gemm"
+  "bench_tab2_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

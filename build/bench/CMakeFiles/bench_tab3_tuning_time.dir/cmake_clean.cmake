@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_tuning_time.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_tab3_tuning_time.dir/bench_util.cpp.o.d"
+  "CMakeFiles/bench_tab3_tuning_time.dir/tab3_tuning_time.cpp.o"
+  "CMakeFiles/bench_tab3_tuning_time.dir/tab3_tuning_time.cpp.o.d"
+  "bench_tab3_tuning_time"
+  "bench_tab3_tuning_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_tuning_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

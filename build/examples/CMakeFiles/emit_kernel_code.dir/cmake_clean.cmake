@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_kernel_code.dir/emit_kernel_code.cpp.o"
+  "CMakeFiles/emit_kernel_code.dir/emit_kernel_code.cpp.o.d"
+  "emit_kernel_code"
+  "emit_kernel_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_kernel_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_network.dir/optimize_network.cpp.o"
+  "CMakeFiles/optimize_network.dir/optimize_network.cpp.o.d"
+  "optimize_network"
+  "optimize_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_conv_layer.dir/tune_conv_layer.cpp.o"
+  "CMakeFiles/tune_conv_layer.dir/tune_conv_layer.cpp.o.d"
+  "tune_conv_layer"
+  "tune_conv_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_conv_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tune_conv_layer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_baseline.dir/baseline/manual_explicit.cpp.o"
+  "CMakeFiles/swatop_baseline.dir/baseline/manual_explicit.cpp.o.d"
+  "CMakeFiles/swatop_baseline.dir/baseline/manual_winograd.cpp.o"
+  "CMakeFiles/swatop_baseline.dir/baseline/manual_winograd.cpp.o.d"
+  "CMakeFiles/swatop_baseline.dir/baseline/swdnn_conv.cpp.o"
+  "CMakeFiles/swatop_baseline.dir/baseline/swdnn_conv.cpp.o.d"
+  "CMakeFiles/swatop_baseline.dir/baseline/xmath_gemm.cpp.o"
+  "CMakeFiles/swatop_baseline.dir/baseline/xmath_gemm.cpp.o.d"
+  "libswatop_baseline.a"
+  "libswatop_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

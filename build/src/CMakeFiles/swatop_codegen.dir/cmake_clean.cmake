@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_codegen.dir/codegen/c_emitter.cpp.o"
+  "CMakeFiles/swatop_codegen.dir/codegen/c_emitter.cpp.o.d"
+  "libswatop_codegen.a"
+  "libswatop_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

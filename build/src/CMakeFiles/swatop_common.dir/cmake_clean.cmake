@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_common.dir/common/least_squares.cpp.o"
+  "CMakeFiles/swatop_common.dir/common/least_squares.cpp.o.d"
+  "CMakeFiles/swatop_common.dir/common/math_util.cpp.o"
+  "CMakeFiles/swatop_common.dir/common/math_util.cpp.o.d"
+  "libswatop_common.a"
+  "libswatop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_core.dir/core/chip_parallel.cpp.o"
+  "CMakeFiles/swatop_core.dir/core/chip_parallel.cpp.o.d"
+  "CMakeFiles/swatop_core.dir/core/swatop.cpp.o"
+  "CMakeFiles/swatop_core.dir/core/swatop.cpp.o.d"
+  "libswatop_core.a"
+  "libswatop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/builder.cpp" "src/CMakeFiles/swatop_dsl.dir/dsl/builder.cpp.o" "gcc" "src/CMakeFiles/swatop_dsl.dir/dsl/builder.cpp.o.d"
+  "/root/repo/src/dsl/dsl.cpp" "src/CMakeFiles/swatop_dsl.dir/dsl/dsl.cpp.o" "gcc" "src/CMakeFiles/swatop_dsl.dir/dsl/dsl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

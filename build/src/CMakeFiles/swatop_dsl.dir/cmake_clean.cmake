@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_dsl.dir/dsl/builder.cpp.o"
+  "CMakeFiles/swatop_dsl.dir/dsl/builder.cpp.o.d"
+  "CMakeFiles/swatop_dsl.dir/dsl/dsl.cpp.o"
+  "CMakeFiles/swatop_dsl.dir/dsl/dsl.cpp.o.d"
+  "libswatop_dsl.a"
+  "libswatop_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for swatop_dsl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cpp" "src/CMakeFiles/swatop_ir.dir/ir/analysis.cpp.o" "gcc" "src/CMakeFiles/swatop_ir.dir/ir/analysis.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/swatop_ir.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/swatop_ir.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/mutator.cpp" "src/CMakeFiles/swatop_ir.dir/ir/mutator.cpp.o" "gcc" "src/CMakeFiles/swatop_ir.dir/ir/mutator.cpp.o.d"
+  "/root/repo/src/ir/node.cpp" "src/CMakeFiles/swatop_ir.dir/ir/node.cpp.o" "gcc" "src/CMakeFiles/swatop_ir.dir/ir/node.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/swatop_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/swatop_ir.dir/ir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_ir.dir/ir/analysis.cpp.o"
+  "CMakeFiles/swatop_ir.dir/ir/analysis.cpp.o.d"
+  "CMakeFiles/swatop_ir.dir/ir/expr.cpp.o"
+  "CMakeFiles/swatop_ir.dir/ir/expr.cpp.o.d"
+  "CMakeFiles/swatop_ir.dir/ir/mutator.cpp.o"
+  "CMakeFiles/swatop_ir.dir/ir/mutator.cpp.o.d"
+  "CMakeFiles/swatop_ir.dir/ir/node.cpp.o"
+  "CMakeFiles/swatop_ir.dir/ir/node.cpp.o.d"
+  "CMakeFiles/swatop_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/swatop_ir.dir/ir/printer.cpp.o.d"
+  "libswatop_ir.a"
+  "libswatop_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

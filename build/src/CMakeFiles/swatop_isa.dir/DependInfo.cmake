@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/instr.cpp" "src/CMakeFiles/swatop_isa.dir/isa/instr.cpp.o" "gcc" "src/CMakeFiles/swatop_isa.dir/isa/instr.cpp.o.d"
+  "/root/repo/src/isa/kernel_cache.cpp" "src/CMakeFiles/swatop_isa.dir/isa/kernel_cache.cpp.o" "gcc" "src/CMakeFiles/swatop_isa.dir/isa/kernel_cache.cpp.o.d"
+  "/root/repo/src/isa/kernel_gen.cpp" "src/CMakeFiles/swatop_isa.dir/isa/kernel_gen.cpp.o" "gcc" "src/CMakeFiles/swatop_isa.dir/isa/kernel_gen.cpp.o.d"
+  "/root/repo/src/isa/pipeline.cpp" "src/CMakeFiles/swatop_isa.dir/isa/pipeline.cpp.o" "gcc" "src/CMakeFiles/swatop_isa.dir/isa/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

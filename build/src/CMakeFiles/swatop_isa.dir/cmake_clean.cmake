@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_isa.dir/isa/instr.cpp.o"
+  "CMakeFiles/swatop_isa.dir/isa/instr.cpp.o.d"
+  "CMakeFiles/swatop_isa.dir/isa/kernel_cache.cpp.o"
+  "CMakeFiles/swatop_isa.dir/isa/kernel_cache.cpp.o.d"
+  "CMakeFiles/swatop_isa.dir/isa/kernel_gen.cpp.o"
+  "CMakeFiles/swatop_isa.dir/isa/kernel_gen.cpp.o.d"
+  "CMakeFiles/swatop_isa.dir/isa/pipeline.cpp.o"
+  "CMakeFiles/swatop_isa.dir/isa/pipeline.cpp.o.d"
+  "libswatop_isa.a"
+  "libswatop_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

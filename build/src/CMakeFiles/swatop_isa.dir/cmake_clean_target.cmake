@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswatop_isa.a"
+)

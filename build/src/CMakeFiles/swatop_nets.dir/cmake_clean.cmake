@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_nets.dir/nets/nets.cpp.o"
+  "CMakeFiles/swatop_nets.dir/nets/nets.cpp.o.d"
+  "libswatop_nets.a"
+  "libswatop_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

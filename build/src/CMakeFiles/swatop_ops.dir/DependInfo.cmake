@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/conv_backward.cpp" "src/CMakeFiles/swatop_ops.dir/ops/conv_backward.cpp.o" "gcc" "src/CMakeFiles/swatop_ops.dir/ops/conv_backward.cpp.o.d"
+  "/root/repo/src/ops/explicit_conv.cpp" "src/CMakeFiles/swatop_ops.dir/ops/explicit_conv.cpp.o" "gcc" "src/CMakeFiles/swatop_ops.dir/ops/explicit_conv.cpp.o.d"
+  "/root/repo/src/ops/implicit_conv.cpp" "src/CMakeFiles/swatop_ops.dir/ops/implicit_conv.cpp.o" "gcc" "src/CMakeFiles/swatop_ops.dir/ops/implicit_conv.cpp.o.d"
+  "/root/repo/src/ops/matmul.cpp" "src/CMakeFiles/swatop_ops.dir/ops/matmul.cpp.o" "gcc" "src/CMakeFiles/swatop_ops.dir/ops/matmul.cpp.o.d"
+  "/root/repo/src/ops/reference.cpp" "src/CMakeFiles/swatop_ops.dir/ops/reference.cpp.o" "gcc" "src/CMakeFiles/swatop_ops.dir/ops/reference.cpp.o.d"
+  "/root/repo/src/ops/tensor.cpp" "src/CMakeFiles/swatop_ops.dir/ops/tensor.cpp.o" "gcc" "src/CMakeFiles/swatop_ops.dir/ops/tensor.cpp.o.d"
+  "/root/repo/src/ops/winograd.cpp" "src/CMakeFiles/swatop_ops.dir/ops/winograd.cpp.o" "gcc" "src/CMakeFiles/swatop_ops.dir/ops/winograd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_prim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_ops.dir/ops/conv_backward.cpp.o"
+  "CMakeFiles/swatop_ops.dir/ops/conv_backward.cpp.o.d"
+  "CMakeFiles/swatop_ops.dir/ops/explicit_conv.cpp.o"
+  "CMakeFiles/swatop_ops.dir/ops/explicit_conv.cpp.o.d"
+  "CMakeFiles/swatop_ops.dir/ops/implicit_conv.cpp.o"
+  "CMakeFiles/swatop_ops.dir/ops/implicit_conv.cpp.o.d"
+  "CMakeFiles/swatop_ops.dir/ops/matmul.cpp.o"
+  "CMakeFiles/swatop_ops.dir/ops/matmul.cpp.o.d"
+  "CMakeFiles/swatop_ops.dir/ops/reference.cpp.o"
+  "CMakeFiles/swatop_ops.dir/ops/reference.cpp.o.d"
+  "CMakeFiles/swatop_ops.dir/ops/tensor.cpp.o"
+  "CMakeFiles/swatop_ops.dir/ops/tensor.cpp.o.d"
+  "CMakeFiles/swatop_ops.dir/ops/winograd.cpp.o"
+  "CMakeFiles/swatop_ops.dir/ops/winograd.cpp.o.d"
+  "libswatop_ops.a"
+  "libswatop_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/boundary.cpp" "src/CMakeFiles/swatop_opt.dir/opt/boundary.cpp.o" "gcc" "src/CMakeFiles/swatop_opt.dir/opt/boundary.cpp.o.d"
+  "/root/repo/src/opt/coalesce.cpp" "src/CMakeFiles/swatop_opt.dir/opt/coalesce.cpp.o" "gcc" "src/CMakeFiles/swatop_opt.dir/opt/coalesce.cpp.o.d"
+  "/root/repo/src/opt/dma_inference.cpp" "src/CMakeFiles/swatop_opt.dir/opt/dma_inference.cpp.o" "gcc" "src/CMakeFiles/swatop_opt.dir/opt/dma_inference.cpp.o.d"
+  "/root/repo/src/opt/double_buffer.cpp" "src/CMakeFiles/swatop_opt.dir/opt/double_buffer.cpp.o" "gcc" "src/CMakeFiles/swatop_opt.dir/opt/double_buffer.cpp.o.d"
+  "/root/repo/src/opt/pass_manager.cpp" "src/CMakeFiles/swatop_opt.dir/opt/pass_manager.cpp.o" "gcc" "src/CMakeFiles/swatop_opt.dir/opt/pass_manager.cpp.o.d"
+  "/root/repo/src/opt/simplify.cpp" "src/CMakeFiles/swatop_opt.dir/opt/simplify.cpp.o" "gcc" "src/CMakeFiles/swatop_opt.dir/opt/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

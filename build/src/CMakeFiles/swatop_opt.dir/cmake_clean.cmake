@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_opt.dir/opt/boundary.cpp.o"
+  "CMakeFiles/swatop_opt.dir/opt/boundary.cpp.o.d"
+  "CMakeFiles/swatop_opt.dir/opt/coalesce.cpp.o"
+  "CMakeFiles/swatop_opt.dir/opt/coalesce.cpp.o.d"
+  "CMakeFiles/swatop_opt.dir/opt/dma_inference.cpp.o"
+  "CMakeFiles/swatop_opt.dir/opt/dma_inference.cpp.o.d"
+  "CMakeFiles/swatop_opt.dir/opt/double_buffer.cpp.o"
+  "CMakeFiles/swatop_opt.dir/opt/double_buffer.cpp.o.d"
+  "CMakeFiles/swatop_opt.dir/opt/pass_manager.cpp.o"
+  "CMakeFiles/swatop_opt.dir/opt/pass_manager.cpp.o.d"
+  "CMakeFiles/swatop_opt.dir/opt/simplify.cpp.o"
+  "CMakeFiles/swatop_opt.dir/opt/simplify.cpp.o.d"
+  "libswatop_opt.a"
+  "libswatop_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prim/dma_primitive.cpp" "src/CMakeFiles/swatop_prim.dir/prim/dma_primitive.cpp.o" "gcc" "src/CMakeFiles/swatop_prim.dir/prim/dma_primitive.cpp.o.d"
+  "/root/repo/src/prim/gemm_primitive.cpp" "src/CMakeFiles/swatop_prim.dir/prim/gemm_primitive.cpp.o" "gcc" "src/CMakeFiles/swatop_prim.dir/prim/gemm_primitive.cpp.o.d"
+  "/root/repo/src/prim/pack.cpp" "src/CMakeFiles/swatop_prim.dir/prim/pack.cpp.o" "gcc" "src/CMakeFiles/swatop_prim.dir/prim/pack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_prim.dir/prim/dma_primitive.cpp.o"
+  "CMakeFiles/swatop_prim.dir/prim/dma_primitive.cpp.o.d"
+  "CMakeFiles/swatop_prim.dir/prim/gemm_primitive.cpp.o"
+  "CMakeFiles/swatop_prim.dir/prim/gemm_primitive.cpp.o.d"
+  "CMakeFiles/swatop_prim.dir/prim/pack.cpp.o"
+  "CMakeFiles/swatop_prim.dir/prim/pack.cpp.o.d"
+  "libswatop_prim.a"
+  "libswatop_prim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_prim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

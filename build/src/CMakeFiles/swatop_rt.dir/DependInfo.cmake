@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/bind.cpp" "src/CMakeFiles/swatop_rt.dir/rt/bind.cpp.o" "gcc" "src/CMakeFiles/swatop_rt.dir/rt/bind.cpp.o.d"
+  "/root/repo/src/rt/dma_expand.cpp" "src/CMakeFiles/swatop_rt.dir/rt/dma_expand.cpp.o" "gcc" "src/CMakeFiles/swatop_rt.dir/rt/dma_expand.cpp.o.d"
+  "/root/repo/src/rt/expr_eval.cpp" "src/CMakeFiles/swatop_rt.dir/rt/expr_eval.cpp.o" "gcc" "src/CMakeFiles/swatop_rt.dir/rt/expr_eval.cpp.o.d"
+  "/root/repo/src/rt/interpreter.cpp" "src/CMakeFiles/swatop_rt.dir/rt/interpreter.cpp.o" "gcc" "src/CMakeFiles/swatop_rt.dir/rt/interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_prim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_rt.dir/rt/bind.cpp.o"
+  "CMakeFiles/swatop_rt.dir/rt/bind.cpp.o.d"
+  "CMakeFiles/swatop_rt.dir/rt/dma_expand.cpp.o"
+  "CMakeFiles/swatop_rt.dir/rt/dma_expand.cpp.o.d"
+  "CMakeFiles/swatop_rt.dir/rt/expr_eval.cpp.o"
+  "CMakeFiles/swatop_rt.dir/rt/expr_eval.cpp.o.d"
+  "CMakeFiles/swatop_rt.dir/rt/interpreter.cpp.o"
+  "CMakeFiles/swatop_rt.dir/rt/interpreter.cpp.o.d"
+  "libswatop_rt.a"
+  "libswatop_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_sched.dir/sched/lower.cpp.o"
+  "CMakeFiles/swatop_sched.dir/sched/lower.cpp.o.d"
+  "CMakeFiles/swatop_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/swatop_sched.dir/sched/scheduler.cpp.o.d"
+  "libswatop_sched.a"
+  "libswatop_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

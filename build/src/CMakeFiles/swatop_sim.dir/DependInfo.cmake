@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chip.cpp" "src/CMakeFiles/swatop_sim.dir/sim/chip.cpp.o" "gcc" "src/CMakeFiles/swatop_sim.dir/sim/chip.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/swatop_sim.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/swatop_sim.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/core_group.cpp" "src/CMakeFiles/swatop_sim.dir/sim/core_group.cpp.o" "gcc" "src/CMakeFiles/swatop_sim.dir/sim/core_group.cpp.o.d"
+  "/root/repo/src/sim/dma.cpp" "src/CMakeFiles/swatop_sim.dir/sim/dma.cpp.o" "gcc" "src/CMakeFiles/swatop_sim.dir/sim/dma.cpp.o.d"
+  "/root/repo/src/sim/main_memory.cpp" "src/CMakeFiles/swatop_sim.dir/sim/main_memory.cpp.o" "gcc" "src/CMakeFiles/swatop_sim.dir/sim/main_memory.cpp.o.d"
+  "/root/repo/src/sim/reg_comm.cpp" "src/CMakeFiles/swatop_sim.dir/sim/reg_comm.cpp.o" "gcc" "src/CMakeFiles/swatop_sim.dir/sim/reg_comm.cpp.o.d"
+  "/root/repo/src/sim/spm.cpp" "src/CMakeFiles/swatop_sim.dir/sim/spm.cpp.o" "gcc" "src/CMakeFiles/swatop_sim.dir/sim/spm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_sim.dir/sim/chip.cpp.o"
+  "CMakeFiles/swatop_sim.dir/sim/chip.cpp.o.d"
+  "CMakeFiles/swatop_sim.dir/sim/cluster.cpp.o"
+  "CMakeFiles/swatop_sim.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/swatop_sim.dir/sim/core_group.cpp.o"
+  "CMakeFiles/swatop_sim.dir/sim/core_group.cpp.o.d"
+  "CMakeFiles/swatop_sim.dir/sim/dma.cpp.o"
+  "CMakeFiles/swatop_sim.dir/sim/dma.cpp.o.d"
+  "CMakeFiles/swatop_sim.dir/sim/main_memory.cpp.o"
+  "CMakeFiles/swatop_sim.dir/sim/main_memory.cpp.o.d"
+  "CMakeFiles/swatop_sim.dir/sim/reg_comm.cpp.o"
+  "CMakeFiles/swatop_sim.dir/sim/reg_comm.cpp.o.d"
+  "CMakeFiles/swatop_sim.dir/sim/spm.cpp.o"
+  "CMakeFiles/swatop_sim.dir/sim/spm.cpp.o.d"
+  "libswatop_sim.a"
+  "libswatop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tune/cost_model.cpp" "src/CMakeFiles/swatop_tune.dir/tune/cost_model.cpp.o" "gcc" "src/CMakeFiles/swatop_tune.dir/tune/cost_model.cpp.o.d"
+  "/root/repo/src/tune/gemm_model.cpp" "src/CMakeFiles/swatop_tune.dir/tune/gemm_model.cpp.o" "gcc" "src/CMakeFiles/swatop_tune.dir/tune/gemm_model.cpp.o.d"
+  "/root/repo/src/tune/tuner.cpp" "src/CMakeFiles/swatop_tune.dir/tune/tuner.cpp.o" "gcc" "src/CMakeFiles/swatop_tune.dir/tune/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swatop_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_prim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swatop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

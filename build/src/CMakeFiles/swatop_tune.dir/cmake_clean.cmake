@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swatop_tune.dir/tune/cost_model.cpp.o"
+  "CMakeFiles/swatop_tune.dir/tune/cost_model.cpp.o.d"
+  "CMakeFiles/swatop_tune.dir/tune/gemm_model.cpp.o"
+  "CMakeFiles/swatop_tune.dir/tune/gemm_model.cpp.o.d"
+  "CMakeFiles/swatop_tune.dir/tune/tuner.cpp.o"
+  "CMakeFiles/swatop_tune.dir/tune/tuner.cpp.o.d"
+  "libswatop_tune.a"
+  "libswatop_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swatop_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nets.dir/test_nets.cpp.o"
+  "CMakeFiles/test_nets.dir/test_nets.cpp.o.d"
+  "test_nets"
+  "test_nets.pdb"
+  "test_nets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

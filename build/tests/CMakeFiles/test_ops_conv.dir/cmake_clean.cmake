@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_conv.dir/test_ops_conv.cpp.o"
+  "CMakeFiles/test_ops_conv.dir/test_ops_conv.cpp.o.d"
+  "test_ops_conv"
+  "test_ops_conv.pdb"
+  "test_ops_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_matmul.dir/test_ops_matmul.cpp.o"
+  "CMakeFiles/test_ops_matmul.dir/test_ops_matmul.cpp.o.d"
+  "test_ops_matmul"
+  "test_ops_matmul.pdb"
+  "test_ops_matmul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
