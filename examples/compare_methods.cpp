@@ -6,20 +6,21 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/swatop.hpp"
 #include "ops/explicit_conv.hpp"
 #include "ops/implicit_conv.hpp"
 #include "ops/winograd.hpp"
 #include "sim/config.hpp"
-#include "tune/tuner.hpp"
 
 using namespace swatop;
 
 namespace {
 
-double tuned(const dsl::OperatorDef& op, const sim::SimConfig& cfg) {
-  const tune::ModelTuner tuner(cfg);
-  const auto t = tuner.tune(op);
-  return tune::measure_candidate(op, t.candidate, cfg);
+double tuned(const dsl::OperatorDef& op, const sim::SimConfig& machine) {
+  SwatopConfig c;
+  c.machine = machine;
+  c.measure_best = true;
+  return Optimizer(c).optimize(op).measured_cycles;
 }
 
 }  // namespace

@@ -16,7 +16,6 @@
 #include "opt/boundary.hpp"
 #include "ops/reference.hpp"
 #include "ops/tensor.hpp"
-#include "rt/bind.hpp"
 #include "sched/lower.hpp"
 
 using namespace swatop;
@@ -88,15 +87,13 @@ int main(int argc, char** argv) {
           .build();
 
   Optimizer optimizer;
-  const OptimizedOperator tuned = optimizer.optimize(*op);
+  OptimizedOperator tuned = optimizer.optimize(*op);
   std::printf("custom operator tuned: %s\n",
               tuned.candidate.strategy.to_string().c_str());
 
-  sim::CoreGroup cg(optimizer.machine());
-  const auto bt = rt::bind_tensors(cg, *op);
-  op->fill_inputs(cg, bt, tuned.candidate.strategy);
-  const auto r = tuned.run(cg, bt, sim::ExecMode::Functional);
-  const double err = op->check_output(cg, bt, tuned.candidate.strategy);
+  // The tuned handle owns the core group, binding and input fill.
+  const auto r = tuned.execute(sim::ExecMode::Functional);
+  const double err = tuned.check_output();
   std::printf("ran in %.0f simulated cycles, max |err| = %.2e %s\n",
               r.cycles, err, err < 2e-3 ? "(OK)" : "(FAILED)");
   return err < 2e-3 ? 0 : 1;

@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
   const std::int64_t K = argc > 3 ? std::atoll(argv[3]) : 200;
 
   ops::MatmulOp op(M, N, K);
-  Optimizer optimizer;
-  const OptimizedOperator tuned = optimizer.optimize(op);
+  SwatopConfig cfg;  // default machine; the single configuration surface
+  const OptimizedOperator tuned = Optimizer(cfg).optimize(op);
 
   std::printf("// strategy: %s\n",
               tuned.candidate.strategy.to_string().c_str());

@@ -1,5 +1,6 @@
 // Quickstart: tune one matrix multiplication, run the generated schedule
-// functionally on the simulated SW26010 core group, and validate it.
+// functionally on the simulated SW26010 core group, and validate it -- the
+// whole pipeline is one optimize_and_run call.
 //
 //   $ ./quickstart [M N K]
 #include <cstdio>
@@ -7,7 +8,6 @@
 
 #include "core/swatop.hpp"
 #include "ops/matmul.hpp"
-#include "rt/bind.hpp"
 
 int main(int argc, char** argv) {
   using namespace swatop;
@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
   //    kernel variants, boundary strategies).
   ops::MatmulOp op(M, N, K);
 
-  // 2. Tune: the performance-model-based autotuner scores every valid
-  //    schedule strategy and picks the predicted best.
-  Optimizer optimizer;
-  const OptimizedOperator tuned = optimizer.optimize(op);
+  // 2. Tune and run: the performance-model-based autotuner scores every
+  //    valid schedule strategy, picks the predicted best, and the tuned
+  //    handle executes it functionally on a core group it owns.
+  const SwatopConfig cfg;
+  auto [tuned, r] = optimize_and_run(cfg, op);
+
   std::printf("operator:        %s\n", op.name().c_str());
   std::printf("schedule space:  %lld strategies, %lld valid after pruning\n",
               static_cast<long long>(tuned.stats.space_size),
@@ -32,19 +34,15 @@ int main(int argc, char** argv) {
               tuned.candidate.strategy.to_string().c_str());
   std::printf("tuning took:     %.3f s\n", tuned.stats.seconds);
 
-  // 3. Run functionally on the simulated core group and validate.
-  sim::CoreGroup cg(optimizer.machine());
-  const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
-  op.fill_inputs(cg, bt, tuned.candidate.strategy);
-  const rt::RunResult r = tuned.run(cg, bt, sim::ExecMode::Functional);
-  const double err = op.check_output(cg, bt, tuned.candidate.strategy);
+  // 3. Validate against the naive reference.
+  const double err = tuned.check_output();
 
   std::printf("\nsimulated execution:\n");
   std::printf("  cycles:        %.0f\n", r.cycles);
   std::printf("  achieved:      %.1f GFLOPS (%.1f%% of peak)\n",
-              r.gflops(op.flops(), optimizer.machine()),
-              r.gflops(op.flops(), optimizer.machine()) /
-                  optimizer.machine().peak_gflops() * 100.0);
+              r.gflops(op.flops(), cfg.machine),
+              r.gflops(op.flops(), cfg.machine) /
+                  cfg.machine.peak_gflops() * 100.0);
   std::printf("  DMA traffic:   %lld bytes requested, %lld wasted in "
               "transactions\n",
               static_cast<long long>(r.stats.dma_bytes_requested),

@@ -22,10 +22,11 @@ int main(int argc, char** argv) {
               shape.to_string().c_str());
 
   ops::ImplicitConvOp op(shape);
-  Optimizer optimizer;
+  SwatopConfig cfg;
+  cfg.measure_best = true;  // also run the winner through the interpreter
+  Optimizer optimizer(cfg);
   const OptimizedOperator tuned = optimizer.optimize(op);
-  const double swatop_cycles =
-      tune::measure_candidate(op, tuned.candidate, optimizer.machine());
+  const double swatop_cycles = tuned.measured_cycles;
   std::printf("\nswATOP: %lld-strategy space tuned in %.2f s\n",
               static_cast<long long>(tuned.stats.space_size),
               tuned.stats.seconds);

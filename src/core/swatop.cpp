@@ -2,6 +2,9 @@
 
 #include <cctype>
 
+#include "common/check.hpp"
+#include "tune/cost_model.hpp"
+
 namespace swatop {
 
 rt::RunResult OptimizedOperator::run(sim::CoreGroup& cg,
@@ -11,27 +14,87 @@ rt::RunResult OptimizedOperator::run(sim::CoreGroup& cg,
   return interp.run(candidate.program, bt);
 }
 
+void OptimizedOperator::ensure_bound() {
+  SWATOP_CHECK(op_ != nullptr)
+      << "OptimizedOperator::execute on a default-constructed handle; use "
+         "Optimizer::optimize";
+  if (cg_) return;
+  cg_ = std::make_unique<sim::CoreGroup>(machine_);
+  if (recorder_) cg_->attach_observer(recorder_.get());
+  bt_ = rt::bind_tensors(*cg_, *op_);
+  op_->fill_inputs(*cg_, bt_, candidate.strategy);
+}
+
+rt::RunResult OptimizedOperator::execute(sim::ExecMode mode) {
+  ensure_bound();
+  return run(*cg_, bt_, mode);
+}
+
+double OptimizedOperator::check_output() {
+  ensure_bound();
+  return op_->check_output(*cg_, bt_, candidate.strategy);
+}
+
+sim::CoreGroup& OptimizedOperator::core_group() {
+  ensure_bound();
+  return *cg_;
+}
+
+const dsl::BoundTensors& OptimizedOperator::tensors() {
+  ensure_bound();
+  return bt_;
+}
+
+std::int64_t OptimizedOperator::flops() const {
+  SWATOP_CHECK(op_ != nullptr) << "flops() on a default-constructed handle";
+  return op_->flops();
+}
+
 Optimizer::Optimizer(SwatopConfig cfg) : cfg_(cfg) {}
 
 OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
-  const tune::ModelTuner tuner(cfg_.machine);
-  sched::SchedulerOptions sopts;
-  sopts.opt.prefetch = cfg_.prefetch;
-  tune::Tuned tuned = tuner.tune(op, sopts);
-
   OptimizedOperator out;
-  out.predicted_cycles = tuned.cycles;
-  out.stats = tuned.stats;
-  out.candidate = std::move(tuned.candidate);
+  out.op_ = &op;
+  out.machine_ = cfg_.machine;
+  if (cfg_.observability.enabled)
+    out.recorder_ = std::make_shared<obs::Recorder>(cfg_.observability);
+
+  const tune::ModelTuner tuner(cfg_.machine);
+  const sched::SchedulerOptions sopts = cfg_.scheduler_options();
+  obs::Recorder* rec = out.recorder_.get();
+  if (cfg_.tune_top_k >= 1) {
+    tune::Tuned tuned = tuner.tune_top_k(op, cfg_.tune_top_k, sopts, rec);
+    out.measured_cycles = tuned.cycles;
+    out.stats = tuned.stats;
+    out.candidate = std::move(tuned.candidate);
+    // tune_top_k reports measured cycles; recover the model's estimate of
+    // the winner so callers can compare.
+    const tune::CostModel model(cfg_.machine, tune::gemm_cost_model(cfg_.machine));
+    out.predicted_cycles = model.estimate(out.candidate.program).total();
+  } else {
+    tune::Tuned tuned = tuner.tune(op, sopts, rec);
+    out.predicted_cycles = tuned.cycles;
+    out.stats = tuned.stats;
+    out.candidate = std::move(tuned.candidate);
+    if (cfg_.measure_best)
+      out.measured_cycles =
+          tune::measure_candidate(op, out.candidate, cfg_.machine);
+  }
+
   codegen::EmitOptions eopts;
   eopts.kernel_name = "swatop_" + op.name();
   for (char& c : eopts.kernel_name)
     if (!isalnum(static_cast<unsigned char>(c))) c = '_';
   out.c_source = codegen::emit_c(out.candidate.program, eopts);
-  if (cfg_.measure_best)
-    out.measured_cycles =
-        tune::measure_candidate(op, out.candidate, cfg_.machine);
   return out;
+}
+
+RunOutcome optimize_and_run(const SwatopConfig& cfg,
+                            const dsl::OperatorDef& op, sim::ExecMode mode) {
+  RunOutcome o;
+  o.optimized = Optimizer(cfg).optimize(op);
+  o.result = o.optimized.execute(mode);
+  return o;
 }
 
 }  // namespace swatop

@@ -1,22 +1,28 @@
 // swATOP public API: describe an operator (ops/ provides matmul and the
 // three convolution designs, or implement dsl::OperatorDef for your own),
 // call Optimizer::optimize, and get back a tuned schedule, the generated C
-// source for SW26010, and a handle that runs the schedule on the simulated
-// core group.
+// source for SW26010, and a handle that owns everything needed to run it.
 //
-//   swatop::Optimizer opt;
+//   swatop::SwatopConfig cfg;
 //   swatop::ops::MatmulOp op(512, 512, 512);
+//   auto [tuned, result] = swatop::optimize_and_run(cfg, op);
+//   // or, step by step:
+//   swatop::Optimizer opt(cfg);
 //   auto tuned = opt.optimize(op);
-//   sim::CoreGroup cg(opt.machine());
-//   auto bt = rt::bind_tensors(cg, op);
-//   op.fill_inputs(cg, bt, tuned.candidate.strategy);
-//   auto result = tuned.run(cg, bt, sim::ExecMode::Functional);
+//   auto result = tuned.execute(sim::ExecMode::Functional);
+//
+// The one-call path owns the core group, tensor binding and input fill
+// internally; the pre-existing low-level entry points (bind_tensors +
+// OptimizedOperator::run on a caller-owned core group) keep working for
+// callers that manage memory themselves.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "codegen/c_emitter.hpp"
 #include "dsl/dsl.hpp"
+#include "obs/recorder.hpp"
 #include "rt/bind.hpp"
 #include "rt/interpreter.hpp"
 #include "sched/scheduler.hpp"
@@ -24,24 +30,94 @@
 
 namespace swatop {
 
+/// The single configuration surface: machine model, scheduling and tuning
+/// knobs, and observability. Every lower-level options struct
+/// (sched::SchedulerOptions, the tuner's top-k) is derived from here.
 struct SwatopConfig {
   sim::SimConfig machine{};
+
   bool prefetch = true;  ///< let the optimizer apply double buffering
-  /// Run the tuner's top choice through the timing interpreter and report
-  /// the measured cycles too.
+  /// SPM floats kept free of tile buffers (stack/spill headroom).
+  std::int64_t spm_reserve_floats = 512;
+  /// Cap on schedule candidates considered (0 = the whole pruned space).
+  std::int64_t max_candidates = 0;
+
+  /// 0: pick the cost model's best candidate without measuring (the pure
+  /// model-based autotuner). k >= 1: additionally measure the k
+  /// model-ranked best through the timing interpreter and keep the
+  /// measured winner (Sec. 4.6's "pick best (or top k)").
+  int tune_top_k = 0;
+
+  /// Run the chosen candidate through the timing interpreter and report
+  /// the measured cycles (implied by tune_top_k >= 1).
   bool measure_best = false;
+
+  /// Observability: off by default (near-zero overhead). When enabled, the
+  /// tuner and every execution are profiled into RunResult::profile.
+  obs::Options observability{};
+
+  /// The scheduler options this configuration implies.
+  sched::SchedulerOptions scheduler_options() const {
+    sched::SchedulerOptions s;
+    s.opt.prefetch = prefetch;
+    s.opt.spm_reserve_floats = spm_reserve_floats;
+    s.max_candidates = max_candidates;
+    return s;
+  }
 };
 
-struct OptimizedOperator {
+/// A tuned, code-generated operator. Owns (lazily) the simulated core group
+/// and tensor binding needed to run it, so `execute()` is one call; the
+/// operator definition passed to Optimizer::optimize must outlive it.
+/// Move-only (it owns a core group).
+class OptimizedOperator {
+ public:
+  OptimizedOperator() = default;
+  OptimizedOperator(OptimizedOperator&&) = default;
+  OptimizedOperator& operator=(OptimizedOperator&&) = default;
+  OptimizedOperator(const OptimizedOperator&) = delete;
+  OptimizedOperator& operator=(const OptimizedOperator&) = delete;
+
   sched::Candidate candidate;
   tune::TunerStats stats;
-  double predicted_cycles = 0.0;
-  double measured_cycles = 0.0;  ///< 0 unless SwatopConfig::measure_best
+  double predicted_cycles = 0.0;  ///< cost-model estimate of the winner
+  double measured_cycles = 0.0;   ///< 0 unless measured during tuning
   std::string c_source;
 
-  /// Execute the tuned schedule.
+  /// Execute the tuned schedule on the internally owned core group,
+  /// creating it, binding the operator's tensors and filling its inputs on
+  /// first use. Repeated calls reuse the core group (memory contents are
+  /// preserved between runs). When the optimizer was configured with
+  /// observability enabled, the result's `profile` carries the counters
+  /// and trace of this run plus the accumulated tuning history.
+  rt::RunResult execute(sim::ExecMode mode = sim::ExecMode::Functional);
+
+  /// Max |computed - reference| over the outputs of the last execute().
+  double check_output();
+
+  /// The internally owned core group / binding (created on demand); for
+  /// callers that want to inspect or reuse the memory execute() ran on.
+  sim::CoreGroup& core_group();
+  const dsl::BoundTensors& tensors();
+
+  /// The operator's useful flops under the tuned strategy; convenience for
+  /// RunResult::gflops.
+  std::int64_t flops() const;
+
+  /// Low-level entry point: run on a caller-owned core group and binding.
   rt::RunResult run(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
                     sim::ExecMode mode) const;
+
+ private:
+  friend class Optimizer;
+
+  void ensure_bound();
+
+  const dsl::OperatorDef* op_ = nullptr;
+  sim::SimConfig machine_{};
+  std::shared_ptr<obs::Recorder> recorder_;  ///< null when obs is off
+  std::unique_ptr<sim::CoreGroup> cg_;
+  dsl::BoundTensors bt_;
 };
 
 class Optimizer {
@@ -49,13 +125,24 @@ class Optimizer {
   explicit Optimizer(SwatopConfig cfg = {});
 
   const sim::SimConfig& machine() const { return cfg_.machine; }
+  const SwatopConfig& config() const { return cfg_; }
 
-  /// Tune the operator with the performance-model-based autotuner and
-  /// generate its code.
+  /// Tune the operator with the performance-model-based autotuner (plus
+  /// top-k measurement when configured) and generate its code. The
+  /// returned handle keeps a pointer to `op`.
   OptimizedOperator optimize(const dsl::OperatorDef& op) const;
 
  private:
   SwatopConfig cfg_;
 };
+
+/// The whole pipeline in one call: tune, generate code, execute.
+struct RunOutcome {
+  OptimizedOperator optimized;
+  rt::RunResult result;
+};
+RunOutcome optimize_and_run(const SwatopConfig& cfg,
+                            const dsl::OperatorDef& op,
+                            sim::ExecMode mode = sim::ExecMode::Functional);
 
 }  // namespace swatop

@@ -47,10 +47,15 @@ KernelCostDb::KernelCostDb(const sim::SimConfig& cfg)
       for (int nb : {1, 2, 4}) {
         const RegBlock rb{mv, nb};
         const auto pair = emit_kernel_pair(v, rb, cfg_);
-        const double per_iter =
-            pipe_.steady_state_cycles(pair, 2, 6) / 2.0;
-        per_iter_[static_cast<std::size_t>(v.index())]
-                 [static_cast<std::size_t>(block_slot(rb))] = per_iter;
+        const SteadyStateStats ss = pipe_.steady_state_detail(pair, 2, 6);
+        const double per_iter = ss.cycles / 2.0;
+        const std::size_t vi = static_cast<std::size_t>(v.index());
+        const std::size_t si = static_cast<std::size_t>(block_slot(rb));
+        per_iter_[vi][si] = per_iter;
+        // The emitted "pair" is two software-pipelined k-iterations; halve
+        // the steady-state breakdown to per-iteration terms.
+        per_iter_pipe_[vi][si] = {ss.cycles / 2.0, ss.issued_p0 / 2.0,
+                                  ss.issued_p1 / 2.0, ss.stall_cycles / 2.0};
 
         // Overhead: prologue + 2 body iterations + epilogue, minus the
         // steady-state share of those 2 iterations.
@@ -59,11 +64,17 @@ KernelCostDb::KernelCostDb(const sim::SimConfig& cfg)
         seq.insert(seq.end(), body.begin(), body.end());
         const auto epi = emit_block_epilogue(rb);
         seq.insert(seq.end(), epi.begin(), epi.end());
-        const double total = static_cast<double>(pipe_.run(seq).cycles);
+        const PipelineResult whole = pipe_.run(seq);
+        const double total = static_cast<double>(whole.cycles);
         const double ovh = total - 2.0 * per_iter;
-        overhead_[static_cast<std::size_t>(v.index())]
-                 [static_cast<std::size_t>(block_slot(rb))] =
-            ovh > 0.0 ? ovh : 0.0;
+        overhead_[vi][si] = ovh > 0.0 ? ovh : 0.0;
+        auto clamp0 = [](double x) { return x > 0.0 ? x : 0.0; };
+        overhead_pipe_[vi][si] = {
+            clamp0(ovh),
+            clamp0(static_cast<double>(whole.issued_p0) - ss.issued_p0),
+            clamp0(static_cast<double>(whole.issued_p1) - ss.issued_p1),
+            clamp0(static_cast<double>(whole.stall_cycles) -
+                   ss.stall_cycles)};
       }
     }
   }
@@ -105,6 +116,55 @@ double KernelCostDb::local_gemm_cycles(const KernelVariant& v, std::int64_t m,
     }
   }
   return cycles;
+}
+
+obs::PipeCounters KernelCostDb::local_gemm_pipe(const KernelVariant& v,
+                                                std::int64_t m,
+                                                std::int64_t n,
+                                                std::int64_t k) const {
+  obs::PipeCounters out;
+  if (m <= 0 || n <= 0 || k <= 0) return out;
+  const std::int64_t vec_len = v.vec == VecDim::M ? m : n;
+  const std::int64_t scal_len = v.vec == VecDim::M ? n : m;
+  SWATOP_CHECK(vec_len % cfg_.vector_width == 0)
+      << "vectorized dim " << vec_len << " not a multiple of "
+      << cfg_.vector_width;
+
+  std::vector<std::pair<int, std::int64_t>> vec_blocks, scal_blocks;
+  decompose(vec_len, cfg_.vector_width, vec_blocks);
+  decompose(scal_len, 1, scal_blocks);
+
+  const std::size_t vi = static_cast<std::size_t>(v.index());
+  for (const auto& [mv, mcnt] : vec_blocks) {
+    for (const auto& [nb, ncnt] : scal_blocks) {
+      const std::size_t si =
+          static_cast<std::size_t>(block_slot(RegBlock{mv, nb}));
+      const SteadyStateStats& it = per_iter_pipe_[vi][si];
+      const SteadyStateStats& oh = overhead_pipe_[vi][si];
+      const double blocks = static_cast<double>(mcnt * ncnt);
+      const double iters = static_cast<double>(k);
+      out.issued_p0 += blocks * (oh.issued_p0 + iters * it.issued_p0);
+      out.issued_p1 += blocks * (oh.issued_p1 + iters * it.issued_p1);
+      out.raw_stall_cycles +=
+          blocks * (oh.stall_cycles + iters * it.stall_cycles);
+    }
+  }
+  return out;
+}
+
+obs::PipeCounters KernelCostDb::spm_gemm_pipe(const KernelVariant& v,
+                                              std::int64_t M, std::int64_t N,
+                                              std::int64_t K) const {
+  const int R = cfg_.mesh_rows;
+  const int C = cfg_.mesh_cols;
+  SWATOP_CHECK(M % R == 0 && N % C == 0 && K % R == 0)
+      << "spm_gemm dims (" << M << "," << N << "," << K
+      << ") not divisible by the mesh";
+  obs::PipeCounters panel = local_gemm_pipe(v, M / R, N / C, K / R);
+  panel.issued_p0 *= static_cast<double>(R);
+  panel.issued_p1 *= static_cast<double>(R);
+  panel.raw_stall_cycles *= static_cast<double>(R);
+  return panel;
 }
 
 double KernelCostDb::spm_gemm_cycles(const KernelVariant& v, std::int64_t M,

@@ -14,6 +14,7 @@
 
 #include "isa/kernel_gen.hpp"
 #include "isa/pipeline.hpp"
+#include "obs/counters.hpp"
 #include "sim/config.hpp"
 
 namespace swatop::isa {
@@ -38,6 +39,18 @@ class KernelCostDb {
   double spm_gemm_cycles(const KernelVariant& v, std::int64_t M,
                          std::int64_t N, std::int64_t K) const;
 
+  /// Per-CPE P0/P1 issue and stall estimate for a local GEMM, composed
+  /// from the same pipeline-simulator fits that price it (same block
+  /// decomposition, same per-iteration differencing).
+  obs::PipeCounters local_gemm_pipe(const KernelVariant& v, std::int64_t m,
+                                    std::int64_t n, std::int64_t k) const;
+
+  /// Same for the cluster-level spm_gemm (per CPE: execution is SPMD). The
+  /// inter-panel communication-pattern switch is latency, not a pipeline
+  /// stall, so it is excluded here.
+  obs::PipeCounters spm_gemm_pipe(const KernelVariant& v, std::int64_t M,
+                                  std::int64_t N, std::int64_t K) const;
+
   const sim::SimConfig& config() const { return cfg_; }
 
  private:
@@ -48,6 +61,8 @@ class KernelCostDb {
   // 8 variants x 9 (mv in {1,2,4} x nb in {1,2,4}) blocks.
   std::array<std::array<double, 9>, 8> per_iter_{};
   std::array<std::array<double, 9>, 8> overhead_{};
+  std::array<std::array<SteadyStateStats, 9>, 8> per_iter_pipe_{};
+  std::array<std::array<SteadyStateStats, 9>, 8> overhead_pipe_{};
 };
 
 /// Process-wide cost database for the default configuration. Building one is

@@ -74,6 +74,11 @@ PipelineResult PipelineSim::run(std::span<const Instr> code) const {
 
 double PipelineSim::steady_state_cycles(std::span<const Instr> body, int lo,
                                         int hi) const {
+  return steady_state_detail(body, lo, hi).cycles;
+}
+
+SteadyStateStats PipelineSim::steady_state_detail(std::span<const Instr> body,
+                                                  int lo, int hi) const {
   SWATOP_CHECK(hi > lo && lo >= 1);
   std::vector<Instr> rep_lo, rep_hi;
   for (int r = 0; r < hi; ++r)
@@ -82,8 +87,14 @@ double PipelineSim::steady_state_cycles(std::span<const Instr> body, int lo,
     rep_lo.insert(rep_lo.end(), body.begin(), body.end());
   const auto c_hi = run(rep_hi);
   const auto c_lo = run(rep_lo);
-  return static_cast<double>(c_hi.cycles - c_lo.cycles) /
-         static_cast<double>(hi - lo);
+  const double reps = static_cast<double>(hi - lo);
+  SteadyStateStats s;
+  s.cycles = static_cast<double>(c_hi.cycles - c_lo.cycles) / reps;
+  s.issued_p0 = static_cast<double>(c_hi.issued_p0 - c_lo.issued_p0) / reps;
+  s.issued_p1 = static_cast<double>(c_hi.issued_p1 - c_lo.issued_p1) / reps;
+  s.stall_cycles =
+      static_cast<double>(c_hi.stall_cycles - c_lo.stall_cycles) / reps;
+  return s;
 }
 
 }  // namespace swatop::isa

@@ -23,6 +23,17 @@ struct PipelineResult {
   std::int64_t stall_cycles = 0;  ///< cycles with nothing issued
 };
 
+/// Per-iteration steady-state breakdown of a loop body: cycles plus the
+/// issue/stall mix, all as the hi-vs-lo repetition difference (fractional
+/// values are expected -- an iteration can straddle a cycle boundary). This
+/// is what the observability layer's P0/P1 counters are built from.
+struct SteadyStateStats {
+  double cycles = 0.0;
+  double issued_p0 = 0.0;
+  double issued_p1 = 0.0;
+  double stall_cycles = 0.0;
+};
+
 class PipelineSim {
  public:
   explicit PipelineSim(const sim::SimConfig& cfg) : cfg_(cfg) {}
@@ -35,6 +46,11 @@ class PipelineSim {
   /// cross-iteration overlap (software pipelining) is honoured.
   double steady_state_cycles(std::span<const Instr> body, int lo = 4,
                              int hi = 12) const;
+
+  /// Full per-iteration breakdown (cycles, P0/P1 issues, stalls) by the
+  /// same differencing.
+  SteadyStateStats steady_state_detail(std::span<const Instr> body,
+                                       int lo = 4, int hi = 12) const;
 
  private:
   const sim::SimConfig& cfg_;

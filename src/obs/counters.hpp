@@ -1,0 +1,66 @@
+// The counter registry of the observability layer: every cycle- and
+// byte-level quantity the paper's analysis needs (Eq. (1) DMA accounting,
+// Figs. 8-11), per execution, split per CPE where the hardware is per-CPE.
+//
+// Counters are *wired into* the code paths that price the run -- the DMA
+// aggregates are incremented at the very sites that book time on the
+// simulated engine (sim::CoreGroup), so traced bytes equal priced bytes by
+// construction, never by re-derivation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swatop::obs {
+
+/// DMA engine counters (the Eq. (1) quantities plus engine occupancy).
+struct DmaCounters {
+  std::int64_t bytes_requested = 0;  ///< payload bytes the program asked for
+  std::int64_t bytes_wasted = 0;     ///< transaction padding around blocks
+  std::int64_t transactions = 0;     ///< 128 B DRAM transactions touched
+  std::int64_t transfers = 0;        ///< CG-level DMA operations issued
+  double queue_wait_cycles = 0.0;    ///< issue delayed by a busy engine
+  double stall_cycles = 0.0;         ///< cluster blocked in dma_wait
+  double busy_cycles = 0.0;          ///< engine occupied (latency + transfer)
+};
+
+/// Dual-pipeline issue estimate for the GEMM kernels executed by a run,
+/// per CPE (execution is SPMD: all 64 CPEs run the identical stream).
+/// Derived from the same pipeline-simulator fits that price the kernels.
+struct PipeCounters {
+  double issued_p0 = 0.0;        ///< instructions issued to P0 (arithmetic)
+  double issued_p1 = 0.0;        ///< instructions issued to P1 (memory)
+  double raw_stall_cycles = 0.0; ///< cycles with nothing issued (RAW waits)
+};
+
+/// Register-communication traffic over the row/column buses.
+struct RegCommCounters {
+  std::int64_t row_messages = 0;
+  std::int64_t col_messages = 0;
+  std::int64_t row_bytes = 0;
+  std::int64_t col_bytes = 0;
+};
+
+/// One CPE's share of the run.
+struct CpeCounters {
+  std::int64_t dma_bytes = 0;      ///< payload bytes moved to/from this SPM
+  std::int64_t dma_transfers = 0;  ///< transfers this CPE participated in
+};
+
+/// The full counter set of one observed execution.
+struct Counters {
+  double total_cycles = 0.0;
+  double compute_cycles = 0.0;
+  std::int64_t flops = 0;
+  std::int64_t gemm_calls = 0;
+  DmaCounters dma;
+  PipeCounters pipe;
+  RegCommCounters reg_comm;
+  std::int64_t spm_high_water_floats = 0;
+  std::int64_t spm_capacity_floats = 0;
+  std::int64_t spm_reads = 0;   ///< functional-mode SPM element reads
+  std::int64_t spm_writes = 0;  ///< functional-mode SPM element writes
+  std::vector<CpeCounters> per_cpe;  ///< sized num_cpes when observed
+};
+
+}  // namespace swatop::obs

@@ -1,0 +1,37 @@
+// A Profile is the immutable result of one observed execution: a snapshot
+// of the counter registry, the trace events collected so far (tuning +
+// execution), and formatting helpers -- Chrome trace-event JSON for
+// chrome://tracing / Perfetto and a human-readable text report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace swatop::obs {
+
+struct Profile {
+  bool enabled = false;  ///< false: observability was off, all else empty
+  Counters counters;
+  TuneCounters tune;
+  std::vector<TuneSample> tune_samples;
+  std::vector<TraceEvent> events;
+  std::int64_t events_dropped = 0;  ///< ring-buffer overwrites
+
+  /// Snapshot a recorder (counters copied, events copied in record order).
+  static Profile snapshot(const Recorder& rec);
+
+  /// Chrome trace-event JSON document.
+  void write_chrome_trace(std::ostream& os) const;
+  std::string chrome_trace() const;
+
+  /// Text report: where the cycles went, DMA efficiency, reg-comm traffic,
+  /// SPM footprint, pipeline issue mix, tuner model-vs-measured table.
+  std::string report() const;
+};
+
+}  // namespace swatop::obs

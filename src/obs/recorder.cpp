@@ -1,0 +1,31 @@
+#include "obs/recorder.hpp"
+
+#include <chrono>
+
+namespace swatop::obs {
+
+namespace {
+
+double steady_us() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::micro>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Recorder::Recorder(const Options& opts)
+    : opts_(opts), buffer_(opts.trace_capacity), t0_us_(steady_us()) {}
+
+CpeCounters& Recorder::cpe(int cpe) {
+  if (static_cast<std::size_t>(cpe) >= counters_.per_cpe.size())
+    counters_.per_cpe.resize(static_cast<std::size_t>(cpe) + 1);
+  return counters_.per_cpe[static_cast<std::size_t>(cpe)];
+}
+
+double Recorder::wall_us() const { return steady_us() - t0_us_; }
+
+void Recorder::reset_execution() { counters_ = Counters{}; }
+
+}  // namespace swatop::obs

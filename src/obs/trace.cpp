@@ -1,0 +1,126 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace swatop::obs {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::Run: return "run";
+    case Category::Dma: return "dma";
+    case Category::Compute: return "compute";
+    case Category::Spm: return "spm";
+    case Category::Tune: return "tune";
+  }
+  SWATOP_UNREACHABLE("bad trace category");
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceBuffer::record(TraceEvent ev) {
+  if (!wrapped_ && ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  wrapped_ = true;
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::size_t TraceBuffer::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+namespace {
+
+/// JSON string escaping for event names (names come from buffer names and
+/// fixed literals, but stay safe for arbitrary input).
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_metadata(std::ostream& os, const char* what, int pid, int tid,
+                    const char* name, bool thread) {
+  os << "{\"ph\":\"M\",\"name\":\"" << what << "\",\"pid\":" << pid;
+  if (thread) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& evs) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  write_metadata(os, "process_name", 0, 0,
+                 "simulated core group (ts = CPE cycles)", false);
+  os << ",\n";
+  write_metadata(os, "thread_name", 0, Track::kCluster, "cluster", true);
+  os << ",\n";
+  write_metadata(os, "thread_name", 0, Track::kDmaEngine, "dma-engine", true);
+  os << ",\n";
+  write_metadata(os, "process_name", 1, 0, "tuner (ts = wall-clock us)",
+                 false);
+  for (const TraceEvent& e : evs) {
+    os << ",\n{\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"cat\":\"" << category_name(e.cat) << "\",\"ph\":\""
+       << (e.instant ? 'i' : 'X') << "\",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+    if (!e.instant) os << ",\"dur\":" << e.dur;
+    if (e.instant) os << ",\"s\":\"t\"";
+    bool any = false;
+    for (int i = 0; i < 3; ++i) {
+      if (e.arg_name[i] == nullptr) continue;
+      os << (any ? "," : ",\"args\":{") << '"' << e.arg_name[i]
+         << "\":" << e.arg[i];
+      any = true;
+    }
+    if (any) os << '}';
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace swatop::obs

@@ -1,0 +1,80 @@
+// Structured event tracing for the observability layer.
+//
+// Events are scoped (begin cycle + duration) or instant, carry a category
+// and a track id, and land in a fixed-capacity ring buffer so tracing a
+// long run costs bounded memory: when the buffer is full the oldest events
+// are overwritten and the drop is reported. The export format is the Chrome
+// trace-event JSON ("chrome://tracing" / Perfetto): simulated-time tracks
+// use ts = CPE cycles (displayed as if microseconds), wall-clock tracks
+// (the tuner) use real microseconds under a separate pid.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swatop::obs {
+
+/// Event categories, used for Chrome's "cat" field and report grouping.
+enum class Category : std::uint8_t {
+  Run,      ///< whole-program execution spans
+  Dma,      ///< DMA transfers and waits
+  Compute,  ///< GEMM / zero-fill primitives
+  Spm,      ///< scratch-pad allocations
+  Tune,     ///< tuner phases (wall-clock time base)
+};
+
+const char* category_name(Category c);
+
+/// Well-known track ids within the simulated-time process (pid 0).
+struct Track {
+  static constexpr int kCluster = 0;    ///< SPMD cluster clock
+  static constexpr int kDmaEngine = 1;  ///< the shared DMA engine
+  static constexpr int kTuner = 0;      ///< pid 1: tuner wall clock
+};
+
+struct TraceEvent {
+  std::string name;
+  Category cat = Category::Run;
+  int pid = 0;       ///< 0 = simulated time (cycles), 1 = wall clock (us)
+  int tid = 0;       ///< track within the process
+  double ts = 0.0;   ///< begin, cycles (pid 0) or microseconds (pid 1)
+  double dur = 0.0;  ///< duration; 0 with instant=true means instant event
+  bool instant = false;
+  /// Up to three numeric arguments (bytes, transactions, dims, ...); the
+  /// names give the Chrome "args" keys. Unused slots have a null name.
+  const char* arg_name[3] = {nullptr, nullptr, nullptr};
+  std::int64_t arg[3] = {0, 0, 0};
+};
+
+/// Fixed-capacity ring buffer of trace events.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void record(TraceEvent ev);
+
+  /// Events in record order (oldest surviving first).
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::int64_t dropped() const { return dropped_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;     ///< insertion cursor once the ring wrapped
+  bool wrapped_ = false;
+  std::int64_t dropped_ = 0;
+};
+
+/// Serialize events as a Chrome trace-event JSON document (the
+/// {"traceEvents": [...]} object form), including process/thread metadata
+/// naming the cycle-time and wall-clock tracks.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& evs);
+
+}  // namespace swatop::obs

@@ -23,6 +23,7 @@ std::int64_t Interpreter::spm_base(const std::string& buf) const {
 RunResult Interpreter::run(const ir::StmtPtr& root,
                            const dsl::BoundTensors& tensors) {
   cg_.reset_execution();
+  obs_ = cg_.observer();
   spm_off_.clear();
   reply_done_.assign(256, -1.0);
   tensors_ = &tensors;
@@ -32,6 +33,23 @@ RunResult Interpreter::run(const ir::StmtPtr& root,
   RunResult r;
   r.cycles = cg_.now();
   r.stats = cg_.stats();
+  if (obs_ != nullptr) {
+    if (obs_->tracing()) {
+      obs::TraceEvent ev;
+      ev.name = mode_ == sim::ExecMode::Functional ? "run (functional)"
+                                                   : "run (timing)";
+      ev.cat = obs::Category::Run;
+      ev.tid = obs::Track::kCluster;
+      ev.ts = 0.0;
+      ev.dur = cg_.now();
+      obs_->trace_event(std::move(ev));
+    }
+    // Overlay the execution aggregates from the simulator's own
+    // accumulators, then snapshot -- the profile's DMA bytes are the priced
+    // DMA bytes, not a re-derivation.
+    obs_->counters() = cg_.counters_snapshot();
+    r.profile = obs::Profile::snapshot(*obs_);
+  }
   return r;
 }
 
@@ -60,6 +78,19 @@ void Interpreter::exec(const ir::StmtPtr& s) {
       const std::int64_t half = align_up(s->buf_floats, 8);
       const std::int64_t total = s->double_buffered ? 2 * half : s->buf_floats;
       spm_off_[s->buf_name] = cg_.cluster().spm_alloc(total, s->buf_name);
+      if (obs_ != nullptr && obs_->tracing()) {
+        obs::TraceEvent ev;
+        ev.name = "spm_alloc " + s->buf_name;
+        ev.cat = obs::Category::Spm;
+        ev.tid = obs::Track::kCluster;
+        ev.ts = cg_.now();
+        ev.instant = true;
+        ev.arg_name[0] = "floats";
+        ev.arg[0] = total;
+        ev.arg_name[1] = "offset";
+        ev.arg[1] = spm_off_[s->buf_name];
+        obs_->trace_event(std::move(ev));
+      }
       return;
     }
     case ir::StmtKind::SpmZero:
@@ -74,7 +105,19 @@ void Interpreter::exec(const ir::StmtPtr& s) {
       SWATOP_CHECK(slot >= 0 && slot < 256 &&
                    reply_done_[static_cast<std::size_t>(slot)] >= 0.0)
           << "dma_wait on empty reply slot " << slot;
-      cg_.wait_until(reply_done_[static_cast<std::size_t>(slot)]);
+      const double done = reply_done_[static_cast<std::size_t>(slot)];
+      if (obs_ != nullptr && obs_->tracing() && done > cg_.now()) {
+        obs::TraceEvent ev;
+        ev.name = "dma_wait";
+        ev.cat = obs::Category::Dma;
+        ev.tid = obs::Track::kCluster;
+        ev.ts = cg_.now();
+        ev.dur = done - cg_.now();
+        ev.arg_name[0] = "reply";
+        ev.arg[0] = slot;
+        obs_->trace_event(std::move(ev));
+      }
+      cg_.wait_until(done);
       reply_done_[static_cast<std::size_t>(slot)] = -1.0;
       return;
     }
@@ -91,6 +134,17 @@ void Interpreter::exec_zero(const ir::Stmt& s) {
   const std::int64_t off = spm_base(s.buf_name) + eval_.eval(s.zero_off);
   const std::int64_t n = eval_.eval(s.zero_floats);
   if (n <= 0) return;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs::TraceEvent ev;
+    ev.name = "spm_zero " + s.buf_name;
+    ev.cat = obs::Category::Compute;
+    ev.tid = obs::Track::kCluster;
+    ev.ts = cg_.now();
+    ev.dur = static_cast<double>(n) / cg_.config().vector_width;
+    ev.arg_name[0] = "floats";
+    ev.arg[0] = n;
+    obs_->trace_event(std::move(ev));
+  }
   // Vector stores, 4 floats per cycle on P1, all CPEs in parallel.
   cg_.advance_compute(static_cast<double>(n) /
                       cg_.config().vector_width);
@@ -116,6 +170,39 @@ void Interpreter::exec_dma(const ir::Stmt& s) {
                reply_done_[static_cast<std::size_t>(slot)] < 0.0)
       << "reply slot " << slot << " already in flight";
   reply_done_[static_cast<std::size_t>(slot)] = done;
+
+  if (obs_ != nullptr) {
+    if (obs_->tracing()) {
+      obs::TraceEvent ev;
+      ev.name = (d.dir == ir::Direction::MemToSpm ? "get " : "put ") +
+                d.spm_buf;
+      ev.cat = obs::Category::Dma;
+      ev.tid = obs::Track::kCluster;
+      ev.ts = cg_.now();
+      ev.instant = true;
+      ev.arg_name[0] = "bytes";
+      ev.arg[0] = cost.bytes_requested;
+      ev.arg_name[1] = "reply";
+      ev.arg[1] = slot;
+      obs_->trace_event(std::move(ev));
+    }
+    // Per-CPE attribution with the same tile-clamp arithmetic the
+    // functional copy below walks.
+    for (int rid = 0; rid < cfg.mesh_rows; ++rid) {
+      for (int cid = 0; cid < cfg.mesh_cols; ++cid) {
+        std::int64_t br, bc;
+        block_of(d, rid, cid, &br, &bc);
+        const std::int64_t vr =
+            std::clamp<std::int64_t>(geo.rows - br * geo.tr, 0, geo.tr);
+        const std::int64_t vc =
+            std::clamp<std::int64_t>(geo.cols - bc * geo.tc, 0, geo.tc);
+        if (vr <= 0 || vc <= 0) continue;
+        obs::CpeCounters& pc = obs_->cpe(rid * cfg.mesh_cols + cid);
+        pc.dma_bytes += vr * vc * static_cast<std::int64_t>(sizeof(float));
+        pc.dma_transfers += 1;
+      }
+    }
+  }
 
   if (mode_ != sim::ExecMode::Functional) return;
 
@@ -163,33 +250,66 @@ void Interpreter::exec_gemm(const ir::Stmt& s) {
   args.c_spm = spm_base(g.c_buf) + eval_.eval(g.c_off);
   args.variant = isa::KernelVariant::from_index(g.variant);
 
-  if (mode_ == sim::ExecMode::Functional) {
-    prim::spm_gemm(cg_, args, mode_, db_);
-    return;
-  }
-  // TimingOnly fast path: the primitive's cost only depends on the dims and
-  // the variant; memoize it.
   const std::uint64_t key =
       (static_cast<std::uint64_t>(args.variant.index()) << 60) ^
       (static_cast<std::uint64_t>(args.M) << 40) ^
       (static_cast<std::uint64_t>(args.N) << 20) ^
       static_cast<std::uint64_t>(args.K);
-  auto it = gemm_cost_memo_.find(key);
-  double cycles;
-  if (it != gemm_cost_memo_.end()) {
-    cycles = it->second;
-  } else {
-    SWATOP_CHECK(
-        prim::spm_gemm_valid(args.M, args.N, args.K, args.variant,
-                             cg_.config()))
-        << "invalid gemm dims (" << args.M << "," << args.N << "," << args.K
-        << ") at runtime";
-    cycles = db_.spm_gemm_cycles(args.variant, args.M, args.N, args.K);
-    gemm_cost_memo_.emplace(key, cycles);
+  const double t0 = cg_.now();
+  if (obs_ != nullptr) {
+    // Per-CPE pipeline attribution from the same kernel-cost fits that
+    // price the call; memoized alongside the cycle cost.
+    auto pit = gemm_pipe_memo_.find(key);
+    if (pit == gemm_pipe_memo_.end()) {
+      pit = gemm_pipe_memo_
+                .emplace(key, db_.spm_gemm_pipe(args.variant, args.M,
+                                                args.N, args.K))
+                .first;
+    }
+    obs::PipeCounters& pipe = obs_->counters().pipe;
+    pipe.issued_p0 += pit->second.issued_p0;
+    pipe.issued_p1 += pit->second.issued_p1;
+    pipe.raw_stall_cycles += pit->second.raw_stall_cycles;
   }
-  cg_.advance_compute(cycles);
-  cg_.stats().gemm_calls += 1;
-  cg_.stats().flops += 2 * args.M * args.N * args.K;
+
+  if (mode_ == sim::ExecMode::Functional) {
+    prim::spm_gemm(cg_, args, mode_, db_);
+  } else {
+    // TimingOnly fast path: the primitive's cost only depends on the dims
+    // and the variant; memoize it.
+    auto it = gemm_cost_memo_.find(key);
+    double cycles;
+    if (it != gemm_cost_memo_.end()) {
+      cycles = it->second;
+    } else {
+      SWATOP_CHECK(
+          prim::spm_gemm_valid(args.M, args.N, args.K, args.variant,
+                               cg_.config()))
+          << "invalid gemm dims (" << args.M << "," << args.N << ","
+          << args.K << ") at runtime";
+      cycles = db_.spm_gemm_cycles(args.variant, args.M, args.N, args.K);
+      gemm_cost_memo_.emplace(key, cycles);
+    }
+    cg_.advance_compute(cycles);
+    cg_.stats().gemm_calls += 1;
+    cg_.stats().flops += 2 * args.M * args.N * args.K;
+  }
+
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs::TraceEvent ev;
+    ev.name = "spm_gemm";
+    ev.cat = obs::Category::Compute;
+    ev.tid = obs::Track::kCluster;
+    ev.ts = t0;
+    ev.dur = cg_.now() - t0;
+    ev.arg_name[0] = "M";
+    ev.arg[0] = args.M;
+    ev.arg_name[1] = "N";
+    ev.arg[1] = args.N;
+    ev.arg_name[2] = "K";
+    ev.arg[2] = args.K;
+    obs_->trace_event(std::move(ev));
+  }
 }
 
 }  // namespace swatop::rt

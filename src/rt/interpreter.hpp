@@ -15,6 +15,7 @@
 #include "dsl/dsl.hpp"
 #include "ir/node.hpp"
 #include "isa/kernel_cache.hpp"
+#include "obs/profile.hpp"
 #include "prim/gemm_primitive.hpp"
 #include "rt/dma_expand.hpp"
 #include "sim/core_group.hpp"
@@ -24,6 +25,9 @@ namespace swatop::rt {
 struct RunResult {
   double cycles = 0.0;
   sim::CgStats stats;
+  /// Observability snapshot of the run (counters + trace). Empty with
+  /// `enabled == false` unless a recorder was attached to the core group.
+  obs::Profile profile;
 
   /// Achieved GFLOPS given the operator's useful flops.
   double gflops(std::int64_t useful_flops, const sim::SimConfig& cfg) const {
@@ -52,6 +56,9 @@ class Interpreter {
   const isa::KernelCostDb& db_;
   ExprEvaluator eval_;
   const dsl::BoundTensors* tensors_ = nullptr;
+  // Observability recorder of the core group, cached per run (nullptr when
+  // observability is off -- every instrumentation site is one pointer test).
+  obs::Recorder* obs_ = nullptr;
   std::unordered_map<std::string, std::int64_t> spm_off_;
   // Reply slots are small integers; completion times indexed directly.
   // A negative entry means "empty".
@@ -59,6 +66,7 @@ class Interpreter {
   // Hot-path memoization: gemm cost per (variant, M, N, K) and DMA cost
   // per transfer geometry.
   std::unordered_map<std::uint64_t, double> gemm_cost_memo_;
+  std::unordered_map<std::uint64_t, obs::PipeCounters> gemm_pipe_memo_;
   DmaCostCache dma_cost_cache_;
 };
 

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/counters.hpp"
+#include "obs/recorder.hpp"
 #include "sim/cluster.hpp"
 #include "sim/config.hpp"
 #include "sim/dma.hpp"
@@ -24,10 +26,13 @@ enum class ExecMode {
   TimingOnly,  ///< account time only (the stand-in for hardware runs)
 };
 
-/// Aggregate counters for one execution.
+/// Aggregate counters for one execution. The observability layer's counter
+/// registry (obs::Counters) is a superset assembled from these exact
+/// accumulators -- see CoreGroup::counters_snapshot().
 struct CgStats {
   double compute_cycles = 0.0;    ///< cycles spent in compute primitives
   double dma_stall_cycles = 0.0;  ///< cycles the cluster waited on DMA
+  double dma_queue_wait_cycles = 0.0;  ///< issue delayed by a busy engine
   std::int64_t dma_bytes_requested = 0;
   std::int64_t dma_bytes_wasted = 0;
   std::int64_t dma_transactions = 0;
@@ -89,6 +94,18 @@ class CoreGroup {
   CgStats& stats() { return stats_; }
   const CgStats& stats() const { return stats_; }
 
+  /// Attach (or detach, with nullptr) an observability recorder. While
+  /// attached, DMA bookings additionally emit trace events and per-CPE
+  /// attributions; every site is a single pointer test when detached.
+  void attach_observer(obs::Recorder* rec) { obs_ = rec; }
+  obs::Recorder* observer() const { return obs_; }
+
+  /// Assemble the observability counter registry for the execution so far.
+  /// Aggregates are copied from the very accumulators the booking paths
+  /// increment (stats(), the DMA engine, the reg-comm bus, the SPM
+  /// allocator), so they equal the priced quantities by construction.
+  obs::Counters counters_snapshot() const;
+
   /// Reset clock, engine, statistics and SPM allocator -- memory contents
   /// and allocations are preserved (so one can re-run on the same buffers).
   void reset_execution();
@@ -97,6 +114,10 @@ class CoreGroup {
   void reset_all();
 
  private:
+  /// Shared DMA booking: queue-wait accounting, statistics, and (when an
+  /// observer is attached) the engine-track trace event.
+  double book_dma(const DmaCost& c);
+
   SimConfig cfg_;
   MainMemory mem_;
   CpeCluster cluster_;
@@ -105,6 +126,7 @@ class CoreGroup {
   ReplyId next_reply_ = 1;
   std::unordered_map<ReplyId, double> inflight_;
   CgStats stats_;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace swatop::sim

@@ -88,6 +88,7 @@ double DmaEngine::issue(double now, const DmaCost& c) {
   const double start = std::max(now, free_at_);
   const double done = start + c.total_cycles();
   free_at_ = done;
+  busy_cycles_ += c.total_cycles();
   return done;
 }
 

@@ -60,7 +60,20 @@ class DmaEngine {
   /// Time at which the engine becomes idle.
   double free_at() const { return free_at_; }
 
-  void reset() { free_at_ = 0.0; }
+  /// Cycles a transfer issued at `now` waits for the engine to drain
+  /// earlier transfers before its own latency+transfer time starts.
+  double queue_wait(double now) const {
+    return free_at_ > now ? free_at_ - now : 0.0;
+  }
+
+  /// Total cycles the engine has been occupied since the last reset
+  /// (latency + transfer terms of every booked transfer).
+  double busy_cycles() const { return busy_cycles_; }
+
+  void reset() {
+    free_at_ = 0.0;
+    busy_cycles_ = 0.0;
+  }
 
   /// Number of DRAM transactions touched by one contiguous block of
   /// `block_floats` floats starting at float offset `mem_base`.
@@ -70,6 +83,7 @@ class DmaEngine {
  private:
   const SimConfig& cfg_;
   double free_at_ = 0.0;
+  double busy_cycles_ = 0.0;
 };
 
 }  // namespace swatop::sim

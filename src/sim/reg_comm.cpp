@@ -7,11 +7,13 @@ RegCommBus::RegCommBus(const SimConfig& cfg) : cfg_(cfg) {}
 void RegCommBus::record_row_broadcast(std::int64_t floats) {
   row_bytes_ += floats * static_cast<std::int64_t>(sizeof(float)) *
                 (cfg_.mesh_cols - 1);
+  row_msgs_ += 1;
 }
 
 void RegCommBus::record_col_broadcast(std::int64_t floats) {
   col_bytes_ += floats * static_cast<std::int64_t>(sizeof(float)) *
                 (cfg_.mesh_rows - 1);
+  col_msgs_ += 1;
 }
 
 double RegCommBus::broadcast_cycles(std::int64_t floats) const {
@@ -27,6 +29,8 @@ double RegCommBus::broadcast_cycles(std::int64_t floats) const {
 void RegCommBus::reset() {
   row_bytes_ = 0;
   col_bytes_ = 0;
+  row_msgs_ = 0;
+  col_msgs_ = 0;
 }
 
 }  // namespace swatop::sim

@@ -28,6 +28,10 @@ class RegCommBus {
   std::int64_t col_bytes() const { return col_bytes_; }
   std::int64_t total_bytes() const { return row_bytes_ + col_bytes_; }
 
+  /// Broadcast operations recorded, by bus direction.
+  std::int64_t row_messages() const { return row_msgs_; }
+  std::int64_t col_messages() const { return col_msgs_; }
+
   /// Cycles to broadcast `floats` floats over one bus, i.e. latency plus the
   /// bandwidth term at the per-bus share of aggregate bandwidth. The GEMM
   /// kernels hide this inside the pipeline, so this standalone price is used
@@ -40,6 +44,8 @@ class RegCommBus {
   const SimConfig& cfg_;
   std::int64_t row_bytes_ = 0;
   std::int64_t col_bytes_ = 0;
+  std::int64_t row_msgs_ = 0;
+  std::int64_t col_msgs_ = 0;
 };
 
 }  // namespace swatop::sim

@@ -17,11 +17,13 @@ void Spm::check_range(std::int64_t a, std::int64_t n) const {
 
 float Spm::read(std::int64_t a) const {
   check_range(a, 1);
+  ++reads_;
   return data_[static_cast<std::size_t>(a)];
 }
 
 void Spm::write(std::int64_t a, float v) {
   check_range(a, 1);
+  ++writes_;
   data_[static_cast<std::size_t>(a)] = v;
 }
 
@@ -38,6 +40,7 @@ std::span<const float> Spm::view(std::int64_t a, std::int64_t n) const {
 void Spm::fill(std::int64_t a, std::int64_t n, float v) {
   auto s = view(a, n);
   std::fill(s.begin(), s.end(), v);
+  writes_ += n;
 }
 
 void Spm::clear() { std::fill(data_.begin(), data_.end(), 0.0f); }

@@ -32,9 +32,21 @@ class Spm {
   /// Zero the whole SPM (used between operator executions).
   void clear();
 
+  /// Element accesses through read()/write()/fill() -- the functional-mode
+  /// scalar access paths (bulk view() spans are not counted). Feeds the
+  /// observability layer's SPM traffic counters.
+  std::int64_t element_reads() const { return reads_; }
+  std::int64_t element_writes() const { return writes_; }
+  void reset_access_counts() {
+    reads_ = 0;
+    writes_ = 0;
+  }
+
  private:
   void check_range(std::int64_t a, std::int64_t n) const;
   std::vector<float> data_;
+  mutable std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
 };
 
 }  // namespace swatop::sim

@@ -20,6 +20,23 @@ double now_seconds() {
       .count();
 }
 
+/// Emit a tuner-phase span on the wall-clock track (pid 1).
+void tune_span(obs::Recorder* rec, const char* name, double us0, double us1,
+               std::int64_t count = -1) {
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.cat = obs::Category::Tune;
+  ev.pid = 1;
+  ev.tid = obs::Track::kTuner;
+  ev.ts = us0;
+  ev.dur = us1 > us0 ? us1 - us0 : 0.0;
+  if (count >= 0) {
+    ev.arg_name[0] = "candidates";
+    ev.arg[0] = count;
+  }
+  rec->trace_event(std::move(ev));
+}
+
 }  // namespace
 
 double measure_candidate(const dsl::OperatorDef& op,
@@ -53,13 +70,19 @@ double measure_strategy(const dsl::OperatorDef& op, const dsl::Strategy& s,
 ModelTuner::ModelTuner(const sim::SimConfig& cfg) : cfg_(cfg) {}
 
 Tuned ModelTuner::tune(const dsl::OperatorDef& op,
-                       const sched::SchedulerOptions& opts) const {
+                       const sched::SchedulerOptions& opts,
+                       obs::Recorder* rec) const {
   const double t0 = now_seconds();
+  const double w0 = rec ? rec->wall_us() : 0.0;
   const sched::Scheduler sched(cfg_);
   const CostModel model(cfg_, gemm_cost_model(cfg_));
   std::vector<sched::Candidate> cands = sched.candidates(op, opts);
   SWATOP_CHECK(!cands.empty())
       << "no valid schedule candidate for " << op.name();
+  const double w_enum = rec ? rec->wall_us() : 0.0;
+  if (rec)
+    tune_span(rec, "enumerate+lower", w0, w_enum,
+              static_cast<std::int64_t>(cands.size()));
   double best = std::numeric_limits<double>::infinity();
   std::size_t best_i = 0;
   for (std::size_t i = 0; i < cands.size(); ++i) {
@@ -75,18 +98,33 @@ Tuned ModelTuner::tune(const dsl::OperatorDef& op,
   out.stats.space_size = sched.space_size(op);
   out.stats.valid_candidates = static_cast<std::int64_t>(cands.size());
   out.stats.seconds = now_seconds() - t0;
+  if (rec) {
+    tune_span(rec, "rank (cost model)", w_enum, rec->wall_us(),
+              static_cast<std::int64_t>(cands.size()));
+    rec->tune().space_size += out.stats.space_size;
+    rec->tune().candidates_ranked += out.stats.valid_candidates;
+    rec->tune().seconds += out.stats.seconds;
+    rec->record_tune_sample(
+        {out.candidate.strategy.to_string(), best, -1.0});
+  }
   return out;
 }
 
 Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
-                             const sched::SchedulerOptions& opts) const {
+                             const sched::SchedulerOptions& opts,
+                             obs::Recorder* rec) const {
   SWATOP_CHECK(k >= 1) << "tune_top_k with k=" << k;
   const double t0 = now_seconds();
+  const double w0 = rec ? rec->wall_us() : 0.0;
   const sched::Scheduler sched(cfg_);
   const CostModel model(cfg_, gemm_cost_model(cfg_));
   std::vector<sched::Candidate> cands = sched.candidates(op, opts);
   SWATOP_CHECK(!cands.empty())
       << "no valid schedule candidate for " << op.name();
+  const double w_enum = rec ? rec->wall_us() : 0.0;
+  if (rec)
+    tune_span(rec, "enumerate+lower", w0, w_enum,
+              static_cast<std::int64_t>(cands.size()));
 
   // Rank by predicted cycles; keep the k best indices.
   std::vector<std::pair<double, std::size_t>> ranked;
@@ -98,6 +136,10 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
   std::partial_sort(ranked.begin(),
                     ranked.begin() + static_cast<std::ptrdiff_t>(keep),
                     ranked.end());
+  const double w_rank = rec ? rec->wall_us() : 0.0;
+  if (rec)
+    tune_span(rec, "rank (cost model)", w_enum, w_rank,
+              static_cast<std::int64_t>(cands.size()));
 
   // Measure the shortlist and keep the measured winner.
   sim::CoreGroup cg(cfg_);
@@ -108,7 +150,13 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
   std::size_t best_i = 0;
   for (std::size_t r = 0; r < keep; ++r) {
     const std::size_t i = ranked[r].second;
+    const double wm0 = rec ? rec->wall_us() : 0.0;
     const double t = interp.run(cands[i].program, bt).cycles;
+    if (rec) {
+      tune_span(rec, "measure candidate", wm0, rec->wall_us());
+      rec->record_tune_sample(
+          {cands[i].strategy.to_string(), ranked[r].first, t});
+    }
     if (t < best) {
       best = t;
       best_i = i;
@@ -120,6 +168,12 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
   out.stats.space_size = sched.space_size(op);
   out.stats.valid_candidates = static_cast<std::int64_t>(cands.size());
   out.stats.seconds = now_seconds() - t0;
+  if (rec) {
+    rec->tune().space_size += out.stats.space_size;
+    rec->tune().candidates_ranked += out.stats.valid_candidates;
+    rec->tune().candidates_measured += static_cast<std::int64_t>(keep);
+    rec->tune().seconds += out.stats.seconds;
+  }
   return out;
 }
 

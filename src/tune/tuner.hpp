@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dsl/dsl.hpp"
+#include "obs/recorder.hpp"
 #include "sched/scheduler.hpp"
 #include "tune/cost_model.hpp"
 
@@ -53,15 +54,19 @@ class ModelTuner {
  public:
   explicit ModelTuner(const sim::SimConfig& cfg);
 
+  /// When `rec` is given, the tuning phases are traced (wall-clock track)
+  /// and per-candidate model-vs-measured samples recorded.
   Tuned tune(const dsl::OperatorDef& op,
-             const sched::SchedulerOptions& opts = {}) const;
+             const sched::SchedulerOptions& opts = {},
+             obs::Recorder* rec = nullptr) const;
 
   /// The paper's "pick best (or top k)" refinement: rank candidates with
   /// the static model, then *measure* the k best through the timing
   /// interpreter and keep the measured winner. k times the measurement cost
   /// buys back most of the model's residual error (Fig. 9's tail).
   Tuned tune_top_k(const dsl::OperatorDef& op, int k,
-                   const sched::SchedulerOptions& opts = {}) const;
+                   const sched::SchedulerOptions& opts = {},
+                   obs::Recorder* rec = nullptr) const;
 
  private:
   sim::SimConfig cfg_;

@@ -16,15 +16,12 @@ namespace {
 
 constexpr double kTol = 2e-3;  // fp32 accumulation over O(10^2..10^3) terms
 
-/// Tune, run functionally, and compare against the reference.
+/// Tune, run functionally, and compare against the reference -- through the
+/// one-call API (the tuned handle owns core group, binding and input fill).
 double optimize_and_check(const dsl::OperatorDef& op) {
-  Optimizer optimizer;
-  const OptimizedOperator tuned = optimizer.optimize(op);
-  sim::CoreGroup cg(optimizer.machine());
-  const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
-  op.fill_inputs(cg, bt, tuned.candidate.strategy);
-  tuned.run(cg, bt, sim::ExecMode::Functional);
-  return op.check_output(cg, bt, tuned.candidate.strategy);
+  OptimizedOperator tuned = Optimizer().optimize(op);
+  tuned.execute(sim::ExecMode::Functional);
+  return tuned.check_output();
 }
 
 TEST(Integration, MatmulAlignedSmall) {
@@ -265,13 +262,21 @@ TEST(Integration, ProTunedStillCorrect) {
   ops::MatmulOp op(72, 56, 40);
   SwatopConfig cfg;
   cfg.machine = sim::SimConfig::sw26010pro();
-  Optimizer optimizer(cfg);
+  auto [tuned, r] = optimize_and_run(cfg, op);
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_LE(tuned.check_output(), 2e-3);
+}
+
+TEST(Integration, LowLevelEntryPointsStillWork) {
+  // Callers that manage the core group themselves keep working.
+  ops::MatmulOp op(64, 64, 32);
+  Optimizer optimizer;
   const OptimizedOperator tuned = optimizer.optimize(op);
   sim::CoreGroup cg(optimizer.machine());
   const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
   op.fill_inputs(cg, bt, tuned.candidate.strategy);
   tuned.run(cg, bt, sim::ExecMode::Functional);
-  EXPECT_LE(op.check_output(cg, bt, tuned.candidate.strategy), 2e-3);
+  EXPECT_LE(op.check_output(cg, bt, tuned.candidate.strategy), kTol);
 }
 
 }  // namespace

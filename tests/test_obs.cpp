@@ -1,0 +1,378 @@
+// Observability subsystem tests: counter determinism, the traced-DMA-bytes
+// == priced-DMA-bytes contract (Eq. (1) accounting), trace-JSON
+// well-formedness, and the disabled-by-default zero-profile behaviour.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/swatop.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "ops/matmul.hpp"
+#include "rt/bind.hpp"
+#include "rt/interpreter.hpp"
+#include "tune/tuner.hpp"
+
+namespace swatop {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON validator (objects, arrays, strings, numbers, literals) so
+// the well-formedness check does not depend on an external parser.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string s) : s_(std::move(s)) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+/// A fixed, known matmul schedule (no tuner involved).
+sched::Candidate fixed_matmul_candidate(const ops::MatmulOp& op,
+                                        const sim::SimConfig& cfg) {
+  dsl::Strategy s;
+  s.set_factor("Tm", 64);
+  s.set_factor("Tn", 64);
+  s.set_factor("Tk", 32);
+  s.set_choice("order", "mnk");
+  s.set_choice("variant", "0");
+  s.set_choice("boundary", "pad");
+  return tune::build_candidate(op, s, cfg);
+}
+
+/// Run one candidate on an observed core group and return the profile.
+obs::Profile observed_run(const dsl::OperatorDef& op,
+                          const sched::Candidate& cand,
+                          const sim::SimConfig& cfg, sim::ExecMode mode,
+                          rt::RunResult* out = nullptr) {
+  obs::Options oo;
+  oo.enabled = true;
+  obs::Recorder rec(oo);
+  sim::CoreGroup cg(cfg);
+  cg.attach_observer(&rec);
+  const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
+  if (mode == sim::ExecMode::Functional)
+    op.fill_inputs(cg, bt, cand.strategy);
+  rt::Interpreter interp(cg, mode);
+  const rt::RunResult r = interp.run(cand.program, bt);
+  if (out) *out = r;
+  return r.profile;
+}
+
+TEST(Obs, TraceBufferRingDropsOldest) {
+  obs::TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceEvent ev;
+    ev.name = "e" + std::to_string(i);
+    buf.record(std::move(ev));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 6);
+  const auto evs = buf.snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().name, "e6");  // oldest surviving
+  EXPECT_EQ(evs.back().name, "e9");
+}
+
+TEST(Obs, DisabledByDefaultYieldsEmptyProfile) {
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(64, 64, 32);
+  const sched::Candidate cand = fixed_matmul_candidate(op, cfg);
+  sim::CoreGroup cg(cfg);  // no recorder attached
+  const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
+  rt::Interpreter interp(cg, sim::ExecMode::TimingOnly);
+  const rt::RunResult r = interp.run(cand.program, bt);
+  EXPECT_FALSE(r.profile.enabled);
+  EXPECT_TRUE(r.profile.events.empty());
+  EXPECT_EQ(r.profile.counters.dma.bytes_requested, 0);
+  EXPECT_GT(r.cycles, 0.0);  // the run itself still happened
+}
+
+TEST(Obs, TracedDmaBytesEqualPricedBytes) {
+  // The Eq. (1) cross-check: the aggregate DMA counters, the per-event
+  // trace arguments and the run statistics must agree *exactly* -- they
+  // are wired to the same booking sites, not re-derived.
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(128, 128, 64);
+  const sched::Candidate cand = fixed_matmul_candidate(op, cfg);
+  rt::RunResult r;
+  const obs::Profile p =
+      observed_run(op, cand, cfg, sim::ExecMode::TimingOnly, &r);
+  ASSERT_TRUE(p.enabled);
+  ASSERT_EQ(p.events_dropped, 0);
+
+  std::int64_t ev_bytes = 0, ev_txn = 0, ev_wasted = 0;
+  for (const obs::TraceEvent& ev : p.events) {
+    if (ev.pid != 0 || ev.tid != obs::Track::kDmaEngine) continue;
+    if (ev.name != "dma") continue;
+    ev_bytes += ev.arg[0];
+    ev_txn += ev.arg[1];
+    ev_wasted += ev.arg[2];
+  }
+  EXPECT_GT(ev_bytes, 0);
+  EXPECT_EQ(ev_bytes, p.counters.dma.bytes_requested);
+  EXPECT_EQ(ev_txn, p.counters.dma.transactions);
+  EXPECT_EQ(ev_wasted, p.counters.dma.bytes_wasted);
+  EXPECT_EQ(p.counters.dma.bytes_requested, r.stats.dma_bytes_requested);
+  EXPECT_EQ(p.counters.dma.bytes_wasted, r.stats.dma_bytes_wasted);
+  EXPECT_EQ(p.counters.dma.transactions, r.stats.dma_transactions);
+  EXPECT_EQ(p.counters.dma.transfers, r.stats.dma_transfers);
+  EXPECT_DOUBLE_EQ(p.counters.total_cycles, r.cycles);
+}
+
+TEST(Obs, PerCpeDmaSumsToAggregate) {
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(128, 128, 64);
+  const sched::Candidate cand = fixed_matmul_candidate(op, cfg);
+  const obs::Profile p =
+      observed_run(op, cand, cfg, sim::ExecMode::TimingOnly);
+  std::int64_t per_cpe = 0;
+  for (const obs::CpeCounters& c : p.counters.per_cpe) per_cpe += c.dma_bytes;
+  EXPECT_GT(per_cpe, 0);
+  EXPECT_EQ(per_cpe, p.counters.dma.bytes_requested);
+}
+
+TEST(Obs, CountersAreDeterministic) {
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(128, 128, 64);
+  const sched::Candidate cand = fixed_matmul_candidate(op, cfg);
+  const obs::Profile a =
+      observed_run(op, cand, cfg, sim::ExecMode::Functional);
+  const obs::Profile b =
+      observed_run(op, cand, cfg, sim::ExecMode::Functional);
+
+  const obs::Counters& ca = a.counters;
+  const obs::Counters& cb = b.counters;
+  EXPECT_DOUBLE_EQ(ca.total_cycles, cb.total_cycles);
+  EXPECT_DOUBLE_EQ(ca.compute_cycles, cb.compute_cycles);
+  EXPECT_EQ(ca.flops, cb.flops);
+  EXPECT_EQ(ca.gemm_calls, cb.gemm_calls);
+  EXPECT_EQ(ca.dma.bytes_requested, cb.dma.bytes_requested);
+  EXPECT_EQ(ca.dma.bytes_wasted, cb.dma.bytes_wasted);
+  EXPECT_EQ(ca.dma.transactions, cb.dma.transactions);
+  EXPECT_EQ(ca.dma.transfers, cb.dma.transfers);
+  EXPECT_DOUBLE_EQ(ca.dma.queue_wait_cycles, cb.dma.queue_wait_cycles);
+  EXPECT_DOUBLE_EQ(ca.dma.stall_cycles, cb.dma.stall_cycles);
+  EXPECT_DOUBLE_EQ(ca.dma.busy_cycles, cb.dma.busy_cycles);
+  EXPECT_DOUBLE_EQ(ca.pipe.issued_p0, cb.pipe.issued_p0);
+  EXPECT_DOUBLE_EQ(ca.pipe.issued_p1, cb.pipe.issued_p1);
+  EXPECT_DOUBLE_EQ(ca.pipe.raw_stall_cycles, cb.pipe.raw_stall_cycles);
+  EXPECT_EQ(ca.reg_comm.row_messages, cb.reg_comm.row_messages);
+  EXPECT_EQ(ca.reg_comm.col_messages, cb.reg_comm.col_messages);
+  EXPECT_EQ(ca.spm_high_water_floats, cb.spm_high_water_floats);
+  EXPECT_EQ(ca.spm_reads, cb.spm_reads);
+  EXPECT_EQ(ca.spm_writes, cb.spm_writes);
+  ASSERT_EQ(ca.per_cpe.size(), cb.per_cpe.size());
+  for (std::size_t i = 0; i < ca.per_cpe.size(); ++i) {
+    EXPECT_EQ(ca.per_cpe[i].dma_bytes, cb.per_cpe[i].dma_bytes) << i;
+    EXPECT_EQ(ca.per_cpe[i].dma_transfers, cb.per_cpe[i].dma_transfers) << i;
+  }
+  // Same number of trace events, same simulated timestamps.
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].name, b.events[i].name) << i;
+    EXPECT_DOUBLE_EQ(a.events[i].ts, b.events[i].ts) << i;
+    EXPECT_DOUBLE_EQ(a.events[i].dur, b.events[i].dur) << i;
+  }
+}
+
+TEST(Obs, FunctionalModeCountsRegCommAndSpmAccesses) {
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(128, 128, 64);
+  const sched::Candidate cand = fixed_matmul_candidate(op, cfg);
+  const obs::Profile p =
+      observed_run(op, cand, cfg, sim::ExecMode::Functional);
+  // The distributed GEMM broadcasts panels over both buses.
+  EXPECT_GT(p.counters.reg_comm.row_messages, 0);
+  EXPECT_GT(p.counters.reg_comm.col_messages, 0);
+  EXPECT_GT(p.counters.spm_reads, 0);
+  EXPECT_GT(p.counters.spm_writes, 0);
+  EXPECT_GT(p.counters.spm_high_water_floats, 0);
+}
+
+TEST(Obs, ChromeTraceIsWellFormedJson) {
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(128, 128, 64);
+  const sched::Candidate cand = fixed_matmul_candidate(op, cfg);
+  const obs::Profile p =
+      observed_run(op, cand, cfg, sim::ExecMode::TimingOnly);
+  const std::string json = p.chrome_trace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\""), std::string::npos);
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json.substr(0, 200);
+}
+
+TEST(Obs, TraceEscapesSpecialCharacters) {
+  obs::TraceBuffer buf(4);
+  obs::TraceEvent ev;
+  ev.name = "weird \"name\"\\with\nnewline";
+  ev.instant = true;
+  buf.record(std::move(ev));
+  std::ostringstream os;
+  obs::write_chrome_trace(os, buf.snapshot());
+  JsonValidator v(os.str());
+  EXPECT_TRUE(v.valid()) << os.str();
+}
+
+TEST(Obs, OneCallApiCarriesTuningHistory) {
+  SwatopConfig cfg;
+  cfg.observability.enabled = true;
+  cfg.tune_top_k = 3;
+  ops::MatmulOp op(128, 128, 64);
+  auto [tuned, r] = optimize_and_run(cfg, op, sim::ExecMode::TimingOnly);
+  ASSERT_TRUE(r.profile.enabled);
+  EXPECT_EQ(r.profile.tune.candidates_measured, 3);
+  EXPECT_GT(r.profile.tune.candidates_ranked, 0);
+  EXPECT_GT(r.profile.tune.space_size, 0);
+  ASSERT_EQ(r.profile.tune_samples.size(), 3u);
+  for (const obs::TuneSample& s : r.profile.tune_samples) {
+    EXPECT_GT(s.predicted_cycles, 0.0);
+    EXPECT_GT(s.measured_cycles, 0.0);
+    EXPECT_FALSE(s.strategy.empty());
+  }
+  // The execution winner is the measured-best shortlist entry.
+  EXPECT_GT(tuned.measured_cycles, 0.0);
+  EXPECT_GT(tuned.predicted_cycles, 0.0);
+  // Tuner (pid 1) and execution (pid 0) events coexist in one trace.
+  bool saw_tune = false, saw_run = false;
+  for (const obs::TraceEvent& ev : r.profile.events) {
+    saw_tune |= ev.pid == 1;
+    saw_run |= ev.pid == 0;
+  }
+  EXPECT_TRUE(saw_tune);
+  EXPECT_TRUE(saw_run);
+}
+
+TEST(Obs, ReportMentionsDmaShare) {
+  SwatopConfig cfg;
+  cfg.observability.enabled = true;
+  ops::MatmulOp op(128, 128, 64);
+  auto [tuned, r] = optimize_and_run(cfg, op, sim::ExecMode::TimingOnly);
+  (void)tuned;
+  const std::string rep = r.profile.report();
+  EXPECT_NE(rep.find("DMA"), std::string::npos);
+  EXPECT_NE(rep.find("wasted"), std::string::npos);
+  EXPECT_NE(rep.find("cycles"), std::string::npos);
+}
+
+TEST(Obs, RepeatedExecuteResetsExecutionCounters) {
+  SwatopConfig cfg;
+  cfg.observability.enabled = true;
+  ops::MatmulOp op(128, 128, 64);
+  Optimizer optimizer(cfg);
+  OptimizedOperator tuned = optimizer.optimize(op);
+  const rt::RunResult r1 = tuned.execute(sim::ExecMode::TimingOnly);
+  const rt::RunResult r2 = tuned.execute(sim::ExecMode::TimingOnly);
+  // Counters describe one execution, not the accumulation of both.
+  EXPECT_EQ(r1.profile.counters.dma.bytes_requested,
+            r2.profile.counters.dma.bytes_requested);
+  EXPECT_DOUBLE_EQ(r1.profile.counters.total_cycles,
+                   r2.profile.counters.total_cycles);
+  // The trace accumulates across runs (one timeline).
+  EXPECT_GE(r2.profile.events.size(), r1.profile.events.size());
+}
+
+}  // namespace
+}  // namespace swatop
