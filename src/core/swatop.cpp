@@ -1,6 +1,7 @@
 #include "core/swatop.hpp"
 
 #include <cctype>
+#include <chrono>
 
 #include "common/check.hpp"
 #include "tune/cost_model.hpp"
@@ -27,6 +28,18 @@ void OptimizedOperator::ensure_bound() {
 
 rt::RunResult OptimizedOperator::execute(sim::ExecMode mode) {
   ensure_bound();
+  if (executed_ && cg_->mem().materialize()) {
+    // Restore the launch-time state (outputs zeroed, as alloc left them;
+    // inputs are never written by a program and keep their fill). Today's
+    // generated programs zero their SPM accumulator on the first reduction
+    // pass and overwrite the output tile on DmaPut, so they happen to be
+    // idempotent on preserved memory -- but that is a property of the DMA
+    // inference pass, not of execute()'s contract; zeroing here keeps
+    // re-runs correct for any accumulating schedule.
+    for (const dsl::TensorSpec& t : op_->tensors())
+      if (t.is_output) cg_->mem().fill(bt_.at(t.name), t.floats, 0.0f);
+  }
+  executed_ = true;
   return run(*cg_, bt_, mode);
 }
 
@@ -50,7 +63,10 @@ std::int64_t OptimizedOperator::flops() const {
   return op_->flops();
 }
 
-Optimizer::Optimizer(SwatopConfig cfg) : cfg_(cfg) {}
+Optimizer::Optimizer(SwatopConfig cfg) : cfg_(cfg) {
+  if (cfg_.cache.enabled)
+    cache_ = std::make_shared<tune::ScheduleCache>(cfg_.cache);
+}
 
 OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
   OptimizedOperator out;
@@ -62,6 +78,54 @@ OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
   const tune::ModelTuner tuner(cfg_.machine);
   const sched::SchedulerOptions sopts = cfg_.scheduler_options();
   obs::Recorder* rec = out.recorder_.get();
+
+  // Cache fast path: a banked winner is rebuilt directly (one lower +
+  // optimize, no space enumeration, no ranking).
+  const std::string cache_key =
+      cache_ ? tune::ScheduleCache::fingerprint(op.name(), cfg_.machine,
+                                                cfg_.tuner_knobs())
+             : std::string();
+  if (cache_) {
+    const double w0 = rec ? rec->wall_us() : 0.0;
+    if (const auto entry = cache_->lookup(cache_key)) {
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        opt::OptOptions oo = sopts.opt;
+        oo.prefetch = entry->prefetch;
+        out.candidate = tune::build_candidate(op, entry->strategy,
+                                              cfg_.machine, oo);
+        out.predicted_cycles = entry->predicted_cycles;
+        out.measured_cycles = entry->measured_cycles;
+        if (cfg_.measure_best && out.measured_cycles == 0.0)
+          out.measured_cycles =
+              tune::measure_candidate(op, out.candidate, cfg_.machine);
+        out.from_cache = true;
+        out.stats.space_size = op.space().size();
+        out.stats.valid_candidates = 1;
+        out.stats.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        if (rec) {
+          rec->tune().cache_hits += 1;
+          rec->tune().seconds += out.stats.seconds;
+          tune::tune_phase_span(rec, "cache hit (rebuild)", w0,
+                                rec->wall_us(), 1);
+        }
+        codegen::EmitOptions eopts;
+        eopts.kernel_name = "swatop_" + op.name();
+        for (char& c : eopts.kernel_name)
+          if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        out.c_source = codegen::emit_c(out.candidate.program, eopts);
+        return out;
+      } catch (const CheckError&) {
+        // A stale/corrupt entry that no longer lowers cleanly: fall
+        // through to a fresh tuning run (which re-banks the key).
+      }
+    }
+    if (rec) rec->tune().cache_misses += 1;
+  }
+
   if (cfg_.tune_top_k >= 1) {
     tune::Tuned tuned = tuner.tune_top_k(op, cfg_.tune_top_k, sopts, rec);
     out.measured_cycles = tuned.cycles;
@@ -79,6 +143,20 @@ OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
     if (cfg_.measure_best)
       out.measured_cycles =
           tune::measure_candidate(op, out.candidate, cfg_.machine);
+  }
+
+  if (cache_) {
+    const double w0 = rec ? rec->wall_us() : 0.0;
+    tune::CacheEntry e;
+    e.strategy = out.candidate.strategy;
+    e.prefetch = out.candidate.prefetch;
+    e.predicted_cycles = out.predicted_cycles;
+    e.measured_cycles = out.measured_cycles;
+    cache_->store(cache_key, e);
+    if (rec) {
+      rec->tune().cache_stores += 1;
+      tune::tune_phase_span(rec, "cache store", w0, rec->wall_us());
+    }
   }
 
   codegen::EmitOptions eopts;

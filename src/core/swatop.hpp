@@ -26,6 +26,7 @@
 #include "rt/bind.hpp"
 #include "rt/interpreter.hpp"
 #include "sched/scheduler.hpp"
+#include "tune/schedule_cache.hpp"
 #include "tune/tuner.hpp"
 
 namespace swatop {
@@ -52,6 +53,18 @@ struct SwatopConfig {
   /// the measured cycles (implied by tune_top_k >= 1).
   bool measure_best = false;
 
+  /// Worker threads for tuning (lower+optimize sweep and cost-model
+  /// ranking): 0 = hardware concurrency, 1 = serial. The pick is identical
+  /// at any thread count.
+  int tune_threads = 0;
+
+  /// Schedule cache: when enabled, Optimizer::optimize serves a previously
+  /// tuned (operator, machine, knobs) from the cache -- rebuilding only the
+  /// winning strategy's IR instead of re-enumerating the space -- and banks
+  /// every fresh tuning result (to `cache.path` when set, unless
+  /// read-only).
+  tune::CacheConfig cache{};
+
   /// Observability: off by default (near-zero overhead). When enabled, the
   /// tuner and every execution are profiled into RunResult::profile.
   obs::Options observability{};
@@ -62,7 +75,19 @@ struct SwatopConfig {
     s.opt.prefetch = prefetch;
     s.opt.spm_reserve_floats = spm_reserve_floats;
     s.max_candidates = max_candidates;
+    s.num_threads = tune_threads;
     return s;
+  }
+
+  /// The cache-key knobs this configuration implies (anything that can
+  /// change the tuner's pick).
+  tune::TunerKnobs tuner_knobs() const {
+    tune::TunerKnobs k;
+    k.prefetch = prefetch;
+    k.spm_reserve_floats = spm_reserve_floats;
+    k.max_candidates = max_candidates;
+    k.top_k = tune_top_k;
+    return k;
   }
 };
 
@@ -82,14 +107,18 @@ class OptimizedOperator {
   tune::TunerStats stats;
   double predicted_cycles = 0.0;  ///< cost-model estimate of the winner
   double measured_cycles = 0.0;   ///< 0 unless measured during tuning
+  bool from_cache = false;  ///< served from the schedule cache (no search)
   std::string c_source;
 
   /// Execute the tuned schedule on the internally owned core group,
   /// creating it, binding the operator's tensors and filling its inputs on
-  /// first use. Repeated calls reuse the core group (memory contents are
-  /// preserved between runs). When the optimizer was configured with
-  /// observability enabled, the result's `profile` carries the counters
-  /// and trace of this run plus the accumulated tuning history.
+  /// first use. Repeated calls reuse the core group; output tensors are
+  /// re-zeroed before each re-run so an accumulating schedule (C += A*B)
+  /// starts from the same state every time -- inputs are read-only to the
+  /// generated programs and keep their first-use fill. When the optimizer
+  /// was configured with observability enabled, the result's `profile`
+  /// carries the counters and trace of this run plus the accumulated
+  /// tuning history.
   rt::RunResult execute(sim::ExecMode mode = sim::ExecMode::Functional);
 
   /// Max |computed - reference| over the outputs of the last execute().
@@ -118,6 +147,7 @@ class OptimizedOperator {
   std::shared_ptr<obs::Recorder> recorder_;  ///< null when obs is off
   std::unique_ptr<sim::CoreGroup> cg_;
   dsl::BoundTensors bt_;
+  bool executed_ = false;  ///< outputs must be re-zeroed before a re-run
 };
 
 class Optimizer {
@@ -129,11 +159,19 @@ class Optimizer {
 
   /// Tune the operator with the performance-model-based autotuner (plus
   /// top-k measurement when configured) and generate its code. The
-  /// returned handle keeps a pointer to `op`.
+  /// returned handle keeps a pointer to `op`. With the schedule cache
+  /// enabled, a previously tuned (operator, machine, knobs) is served from
+  /// the cache: the banked winning strategy is re-lowered directly (the
+  /// schedule space is never enumerated) and the handle is marked
+  /// `from_cache`; fresh results are banked after tuning.
   OptimizedOperator optimize(const dsl::OperatorDef& op) const;
+
+  /// The schedule cache, when enabled (for inspection / explicit save()).
+  tune::ScheduleCache* schedule_cache() const { return cache_.get(); }
 
  private:
   SwatopConfig cfg_;
+  std::shared_ptr<tune::ScheduleCache> cache_;  ///< null when disabled
 };
 
 /// The whole pipeline in one call: tune, generate code, execute.

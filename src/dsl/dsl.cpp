@@ -1,6 +1,8 @@
 #include "dsl/dsl.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -33,6 +35,48 @@ std::string Strategy::to_string() const {
   std::string s = os.str();
   if (!s.empty()) s.pop_back();
   return s;
+}
+
+std::string Strategy::serialize() const {
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : factors_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream os;
+  for (const auto& k : keys) os << "f:" << k << "=" << factors_.at(k) << " ";
+  keys.clear();
+  for (const auto& [k, v] : choices_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (const auto& k : keys) os << "c:" << k << "=" << choices_.at(k) << " ";
+  std::string s = os.str();
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+std::optional<Strategy> Strategy::parse(const std::string& text) {
+  Strategy out;
+  std::istringstream is(text);
+  std::string tok;
+  while (is >> tok) {
+    // Token shape: ("f:"|"c:") name "=" value.
+    if (tok.size() < 4 || tok[1] != ':' || (tok[0] != 'f' && tok[0] != 'c'))
+      return std::nullopt;
+    const std::size_t eq = tok.find('=', 2);
+    if (eq == std::string::npos || eq == 2 || eq + 1 >= tok.size())
+      return std::nullopt;
+    const std::string name = tok.substr(2, eq - 2);
+    const std::string value = tok.substr(eq + 1);
+    if (tok[0] == 'f') {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0')
+        return std::nullopt;
+      out.set_factor(name, static_cast<std::int64_t>(v));
+    } else {
+      out.set_choice(name, value);
+    }
+  }
+  return out;
 }
 
 void ScheduleSpace::add(FactorVar f) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,25 @@ class Strategy {
   }
 
   std::string to_string() const;
+
+  /// Round-trippable text form for the schedule cache: sorted
+  /// `f:<name>=<int>` / `c:<name>=<option>` tokens separated by single
+  /// spaces (variable names and options never contain whitespace, ':' or
+  /// '='). Unlike to_string(), the kind tag makes factors and choices
+  /// unambiguous -- a choice option may itself look numeric ("variant=0").
+  std::string serialize() const;
+
+  /// Inverse of serialize(). Returns nullopt on malformed input (unknown
+  /// kind tag, missing '=', non-integer factor value) so corrupted cache
+  /// entries can be skipped instead of aborting.
+  static std::optional<Strategy> parse(const std::string& text);
+
+  friend bool operator==(const Strategy& a, const Strategy& b) {
+    return a.factors_ == b.factors_ && a.choices_ == b.choices_;
+  }
+  friend bool operator!=(const Strategy& a, const Strategy& b) {
+    return !(a == b);
+  }
 
  private:
   std::unordered_map<std::string, std::int64_t> factors_;

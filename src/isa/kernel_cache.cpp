@@ -185,17 +185,32 @@ double KernelCostDb::spm_gemm_cycles(const KernelVariant& v, std::int64_t M,
 const KernelCostDb& kernel_cost_db(const sim::SimConfig& cfg) {
   // One database per distinct machine model (the kernel cycle costs depend
   // on the pipeline latencies, vector width and mesh -- not the clock).
+  //
+  // The registry mutex guards only the key -> slot map; the expensive
+  // KernelCostDb construction (it pipeline-simulates all 72 kernel/block
+  // combinations) runs under a per-key once_flag. Holding the map lock
+  // across construction would serialize every tuner worker thread behind
+  // the first use of a *different* machine key; this way concurrent first
+  // uses of distinct keys build in parallel, and only threads needing the
+  // same key wait for its one construction.
   using Key = std::tuple<int, int, int, int, int, int, int>;
   const Key key{cfg.vmad_latency,  cfg.vload_latency, cfg.vstore_latency,
                 cfg.reg_comm_latency, cfg.vector_width, cfg.mesh_rows,
                 cfg.mesh_cols};
+  struct Slot {
+    std::once_flag once;
+    std::unique_ptr<KernelCostDb> db;
+  };
   static std::mutex mu;
-  static std::map<Key, std::unique_ptr<KernelCostDb>> registry;
-  const std::lock_guard<std::mutex> lock(mu);
-  auto it = registry.find(key);
-  if (it == registry.end())
-    it = registry.emplace(key, std::make_unique<KernelCostDb>(cfg)).first;
-  return *it->second;
+  static std::map<Key, Slot> registry;
+  Slot* slot;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    slot = &registry[key];  // node-based map: the slot address is stable
+  }
+  std::call_once(slot->once,
+                 [&] { slot->db = std::make_unique<KernelCostDb>(cfg); });
+  return *slot->db;
 }
 
 }  // namespace swatop::isa

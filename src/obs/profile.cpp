@@ -145,13 +145,18 @@ std::string Profile::report() const {
              mb(hi).c_str()));
   }
 
-  if (tune.candidates_ranked > 0) {
+  if (tune.candidates_ranked > 0 || tune.candidates_measured > 0 ||
+      tune.cache_hits + tune.cache_misses > 0) {
     os << "tuning\n";
     line(os, "space",
          fmt("%" PRId64 " strategies, %" PRId64 " ranked, %" PRId64
              " measured",
              tune.space_size, tune.candidates_ranked,
              tune.candidates_measured));
+    if (tune.cache_hits + tune.cache_misses > 0)
+      line(os, "schedule cache",
+           fmt("%" PRId64 " hits, %" PRId64 " misses, %" PRId64 " stores",
+               tune.cache_hits, tune.cache_misses, tune.cache_stores));
     line(os, "wall clock", fmt("%.3f s", tune.seconds));
     if (!tune_samples.empty()) {
       os << "  model vs measured:\n";
@@ -159,6 +164,10 @@ std::string Profile::report() const {
         if (s.measured_cycles < 0.0) {
           os << fmt("    %-40s predicted %12.0f\n", s.strategy.c_str(),
                     s.predicted_cycles);
+        } else if (s.predicted_cycles < 0.0) {
+          // Black-box samples: measured only, no model estimate.
+          os << fmt("    %-40s measured  %12.0f\n", s.strategy.c_str(),
+                    s.measured_cycles);
         } else {
           os << fmt("    %-40s predicted %12.0f  measured %12.0f  "
                     "(err %+.1f%%)\n",

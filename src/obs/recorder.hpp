@@ -23,7 +23,8 @@ struct Options {
 };
 
 /// One tuner candidate's model-predicted vs interpreter-measured cycles
-/// (measured < 0 means the candidate was ranked but not measured).
+/// (measured < 0 means the candidate was ranked but not measured;
+/// predicted < 0 means black-box measured without a model estimate).
 struct TuneSample {
   std::string strategy;
   double predicted_cycles = 0.0;
@@ -36,6 +37,12 @@ struct TuneCounters {
   std::int64_t candidates_ranked = 0;
   std::int64_t candidates_measured = 0;
   double seconds = 0.0;
+  /// Schedule-cache traffic for this Optimizer (a hit skips enumerating
+  /// and ranking the space entirely; stores may trail misses when the
+  /// cache is disabled mid-flight or the entry was unusable).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_stores = 0;
 };
 
 class Recorder {

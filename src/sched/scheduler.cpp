@@ -1,6 +1,25 @@
 #include "sched/scheduler.hpp"
 
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
 namespace swatop::sched {
+
+namespace {
+
+std::size_t resolve_threads(int requested, std::size_t work) {
+  if (work < 2) return 1;
+  std::size_t n = requested > 0
+                      ? static_cast<std::size_t>(requested)
+                      : static_cast<std::size_t>(
+                            std::thread::hardware_concurrency());
+  if (n == 0) n = 1;
+  return n < work ? n : work;
+}
+
+}  // namespace
 
 std::int64_t Scheduler::space_size(const dsl::OperatorDef& op) const {
   return op.space().size();
@@ -8,19 +27,55 @@ std::int64_t Scheduler::space_size(const dsl::OperatorDef& op) const {
 
 std::vector<Candidate> Scheduler::candidates(
     const dsl::OperatorDef& op, const SchedulerOptions& opts) const {
-  std::vector<Candidate> out;
   const dsl::ScheduleSpace space = op.space();
-  for (const dsl::Strategy& s : space.enumerate()) {
+  const std::vector<dsl::Strategy> strategies = space.enumerate();
+
+  const std::size_t nthreads =
+      opts.max_candidates > 0
+          ? 1  // the cap bounds lowering work: keep the early-exit loop
+          : resolve_threads(opts.num_threads, strategies.size());
+
+  auto build = [&](const dsl::Strategy& s) -> std::optional<Candidate> {
     ir::StmtPtr prog = op.lower(s);
-    if (prog == nullptr) continue;  // structurally invalid assignment
+    if (prog == nullptr) return std::nullopt;  // structurally invalid
     opt::OptOptions o = opts.opt;
     o.prefetch = opts.opt.prefetch && op.prefetch_enabled(s);
-    if (!opt::optimize(prog, cfg_, o)) continue;  // pruned
-    out.push_back({s, std::move(prog), o.prefetch});
-    if (opts.max_candidates > 0 &&
-        static_cast<std::int64_t>(out.size()) >= opts.max_candidates)
-      break;
+    if (!opt::optimize(prog, cfg_, o)) return std::nullopt;  // pruned
+    return Candidate{s, std::move(prog), o.prefetch};
+  };
+
+  std::vector<Candidate> out;
+  if (nthreads <= 1) {
+    for (const dsl::Strategy& s : strategies) {
+      std::optional<Candidate> c = build(s);
+      if (!c) continue;
+      out.push_back(std::move(*c));
+      if (opts.max_candidates > 0 &&
+          static_cast<std::int64_t>(out.size()) >= opts.max_candidates)
+        break;
+    }
+    return out;
   }
+
+  // Fan the independent lower+optimize work across a pool (the same
+  // pattern as BlackBoxTuner::tune); slots keep enumeration order so the
+  // result is bit-identical to the serial sweep.
+  std::vector<std::optional<Candidate>> slots(strategies.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(nthreads);
+  for (std::size_t w = 0; w < nthreads; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < strategies.size();
+           i = next.fetch_add(1)) {
+        slots[i] = build(strategies[i]);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  for (std::optional<Candidate>& c : slots)
+    if (c) out.push_back(std::move(*c));
   return out;
 }
 

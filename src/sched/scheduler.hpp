@@ -25,6 +25,13 @@ struct SchedulerOptions {
   /// Cap on returned candidates (0 = unlimited); applied after pruning, by
   /// enumeration order, and reported so benches can note truncation.
   std::int64_t max_candidates = 0;
+  /// Worker threads for the lower+optimize sweep and the tuner's cost-model
+  /// ranking (0 = hardware concurrency, 1 = serial). The candidate list and
+  /// the tuner's pick are identical at any thread count: results keep
+  /// enumeration order and ties break by the first index. A positive
+  /// max_candidates forces the serial path, because its purpose is to bound
+  /// the lowering work itself.
+  int num_threads = 0;
 };
 
 class Scheduler {

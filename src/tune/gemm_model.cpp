@@ -84,21 +84,31 @@ const std::array<double, 5>& GemmCostModel::coefficients(int variant) const {
 
 const GemmCostModel& gemm_cost_model(const sim::SimConfig& cfg) {
   // One fitted model per distinct kernel-cost database (see
-  // isa::kernel_cost_db for the key fields).
+  // isa::kernel_cost_db for the key fields). Same locking discipline as
+  // that registry: the map mutex is never held across the expensive fit
+  // (which itself builds the kernel cost database), only across the slot
+  // lookup; a per-key once_flag serializes exactly the threads that need
+  // the same key.
   using Key = std::tuple<int, int, int, int, int, int, int>;
   const Key key{cfg.vmad_latency,  cfg.vload_latency, cfg.vstore_latency,
                 cfg.reg_comm_latency, cfg.vector_width, cfg.mesh_rows,
                 cfg.mesh_cols};
+  struct Slot {
+    std::once_flag once;
+    std::unique_ptr<GemmCostModel> model;
+  };
   static std::mutex mu;
-  static std::map<Key, std::unique_ptr<GemmCostModel>> registry;
-  const std::lock_guard<std::mutex> lock(mu);
-  auto it = registry.find(key);
-  if (it == registry.end())
-    it = registry
-             .emplace(key, std::make_unique<GemmCostModel>(
-                               GemmCostModel::fit(isa::kernel_cost_db(cfg))))
-             .first;
-  return *it->second;
+  static std::map<Key, Slot> registry;
+  Slot* slot;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    slot = &registry[key];
+  }
+  std::call_once(slot->once, [&] {
+    slot->model = std::make_unique<GemmCostModel>(
+        GemmCostModel::fit(isa::kernel_cost_db(cfg)));
+  });
+  return *slot->model;
 }
 
 }  // namespace swatop::tune

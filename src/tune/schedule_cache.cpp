@@ -1,0 +1,166 @@
+#include "tune/schedule_cache.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace swatop::tune {
+
+namespace {
+
+/// Exact decimal form so a round-trip through the file compares equal.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Split a cache line into exactly `n` tab-separated fields.
+bool split_fields(const std::string& line, std::size_t n,
+                  std::vector<std::string>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (out->size() + 1 < n) {
+    const std::size_t tab = line.find('\t', pos);
+    if (tab == std::string::npos) return false;
+    out->push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+  const std::string last = line.substr(pos);
+  if (last.find('\t') != std::string::npos) return false;
+  out->push_back(last);
+  return true;
+}
+
+}  // namespace
+
+std::string ScheduleCache::file_header() {
+  return "# swatop-schedule-cache v" + std::to_string(kVersion);
+}
+
+ScheduleCache::ScheduleCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!cfg_.path.empty()) load_file_locked();
+}
+
+std::string ScheduleCache::fingerprint(const std::string& op_signature,
+                                       const sim::SimConfig& m,
+                                       const TunerKnobs& k) {
+  std::ostringstream os;
+  os << "v" << kVersion << "|op=" << op_signature << "|machine="
+     << m.mesh_rows << "x" << m.mesh_cols << ",spm=" << m.spm_bytes
+     << ",clk=" << fmt_double(m.clock_ghz)
+     << ",dmabw=" << fmt_double(m.dma_peak_bw_gbs)
+     << ",dmalat=" << fmt_double(m.dma_latency_cycles)
+     << ",txn=" << m.dram_transaction_bytes
+     << ",glsbw=" << fmt_double(m.gls_bw_gbs)
+     << ",rcbw=" << fmt_double(m.reg_comm_bw_gbs)
+     << ",vw=" << m.vector_width << ",vmad=" << m.vmad_latency
+     << ",vld=" << m.vload_latency << ",vst=" << m.vstore_latency
+     << ",rcl=" << m.reg_comm_latency
+     << "|knobs=pf=" << (k.prefetch ? 1 : 0)
+     << ",reserve=" << k.spm_reserve_floats
+     << ",maxc=" << k.max_candidates << ",topk=" << k.top_k;
+  return os.str();
+}
+
+void ScheduleCache::load_file_locked() {
+  std::ifstream in(cfg_.path);
+  if (!in) {
+    // No file yet: the first store creates it (header included).
+    file_appendable_ = false;
+    return;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != file_header()) {
+    // Foreign or stale-version file: ignore every entry; a later store
+    // rewrites it in the current format.
+    file_appendable_ = false;
+    return;
+  }
+  file_appendable_ = true;
+  std::vector<std::string> f;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    CacheEntry e;
+    std::optional<dsl::Strategy> s;
+    if (!split_fields(line, 5, &f) || f[0].empty() ||
+        !parse_double(f[1], &e.predicted_cycles) ||
+        !parse_double(f[2], &e.measured_cycles) ||
+        (f[3] != "0" && f[3] != "1") ||
+        !(s = dsl::Strategy::parse(f[4])) || f[4].empty()) {
+      ++corrupt_;  // skip, never crash: a corrupt cache only loses reuse
+      continue;
+    }
+    e.prefetch = f[3] == "1";
+    e.strategy = std::move(*s);
+    map_[f[0]] = std::move(e);  // duplicate keys: last wins
+  }
+}
+
+std::optional<CacheEntry> ScheduleCache::lookup(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ScheduleCache::write_all_locked() const {
+  if (cfg_.path.empty() || cfg_.read_only) return false;
+  std::ofstream out(cfg_.path, std::ios::trunc);
+  if (!out) return false;
+  out << file_header() << "\n";
+  for (const auto& [key, e] : map_) {
+    out << key << '\t' << fmt_double(e.predicted_cycles) << '\t'
+        << fmt_double(e.measured_cycles) << '\t' << (e.prefetch ? 1 : 0)
+        << '\t' << e.strategy.serialize() << "\n";
+  }
+  return out.good();
+}
+
+void ScheduleCache::store(const std::string& key, const CacheEntry& entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = entry;
+  if (cfg_.path.empty() || cfg_.read_only) return;
+  if (!file_appendable_) {
+    // First store onto a missing/stale file: rewrite whole (tiny) map.
+    file_appendable_ = write_all_locked();
+    return;
+  }
+  std::ofstream out(cfg_.path, std::ios::app);
+  if (!out) return;
+  out << key << '\t' << fmt_double(entry.predicted_cycles) << '\t'
+      << fmt_double(entry.measured_cycles) << '\t'
+      << (entry.prefetch ? 1 : 0) << '\t' << entry.strategy.serialize()
+      << "\n";
+}
+
+bool ScheduleCache::save() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return write_all_locked();
+}
+
+std::size_t ScheduleCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::int64_t ScheduleCache::corrupt_entries_skipped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_;
+}
+
+}  // namespace swatop::tune

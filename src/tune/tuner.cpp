@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <thread>
 #include <limits>
+#include <thread>
 
 #include "common/check.hpp"
 #include "rt/bind.hpp"
@@ -20,9 +20,51 @@ double now_seconds() {
       .count();
 }
 
-/// Emit a tuner-phase span on the wall-clock track (pid 1).
-void tune_span(obs::Recorder* rec, const char* name, double us0, double us1,
-               std::int64_t count = -1) {
+std::size_t resolve_threads(int requested, std::size_t work) {
+  if (work < 2) return 1;
+  std::size_t n = requested > 0
+                      ? static_cast<std::size_t>(requested)
+                      : static_cast<std::size_t>(
+                            std::thread::hardware_concurrency());
+  if (n == 0) n = 1;
+  return n < work ? n : work;
+}
+
+/// Rank every candidate through the static cost model, fanning out across
+/// a worker pool (each worker owns a CostModel: its DMA-cost memo is not
+/// shareable). The returned estimates are index-aligned with `cands`, so
+/// any reduction over them is deterministic regardless of thread count.
+std::vector<double> rank_candidates(
+    const std::vector<sched::Candidate>& cands, const sim::SimConfig& cfg,
+    const GemmCostModel& gm, int num_threads) {
+  std::vector<double> est(cands.size());
+  const std::size_t nthreads = resolve_threads(num_threads, cands.size());
+  if (nthreads <= 1) {
+    const CostModel model(cfg, gm);
+    for (std::size_t i = 0; i < cands.size(); ++i)
+      est[i] = model.estimate(cands[i].program).total();
+    return est;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(nthreads);
+  for (std::size_t w = 0; w < nthreads; ++w) {
+    workers.emplace_back([&] {
+      const CostModel model(cfg, gm);
+      for (std::size_t i = next.fetch_add(1); i < cands.size();
+           i = next.fetch_add(1)) {
+        est[i] = model.estimate(cands[i].program).total();
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return est;
+}
+
+}  // namespace
+
+void tune_phase_span(obs::Recorder* rec, const char* name, double us0,
+                     double us1, std::int64_t count) {
   obs::TraceEvent ev;
   ev.name = name;
   ev.cat = obs::Category::Tune;
@@ -37,8 +79,6 @@ void tune_span(obs::Recorder* rec, const char* name, double us0, double us1,
   rec->trace_event(std::move(ev));
 }
 
-}  // namespace
-
 double measure_candidate(const dsl::OperatorDef& op,
                          const sched::Candidate& cand,
                          const sim::SimConfig& cfg) {
@@ -51,15 +91,24 @@ double measure_candidate(const dsl::OperatorDef& op,
 
 sched::Candidate build_candidate(const dsl::OperatorDef& op,
                                  const dsl::Strategy& s,
-                                 const sim::SimConfig& cfg, bool prefetch) {
+                                 const sim::SimConfig& cfg,
+                                 const opt::OptOptions& oo) {
   ir::StmtPtr prog = op.lower(s);
   SWATOP_CHECK(prog != nullptr)
       << "strategy " << s.to_string() << " invalid for " << op.name();
-  opt::OptOptions o;
-  o.prefetch = prefetch && op.prefetch_enabled(s);
+  opt::OptOptions o = oo;
+  o.prefetch = oo.prefetch && op.prefetch_enabled(s);
   SWATOP_CHECK(opt::optimize(prog, cfg, o))
       << "strategy " << s.to_string() << " pruned for " << op.name();
   return {s, std::move(prog), o.prefetch};
+}
+
+sched::Candidate build_candidate(const dsl::OperatorDef& op,
+                                 const dsl::Strategy& s,
+                                 const sim::SimConfig& cfg, bool prefetch) {
+  opt::OptOptions o;
+  o.prefetch = prefetch;
+  return build_candidate(op, s, cfg, o);
 }
 
 double measure_strategy(const dsl::OperatorDef& op, const dsl::Strategy& s,
@@ -75,20 +124,21 @@ Tuned ModelTuner::tune(const dsl::OperatorDef& op,
   const double t0 = now_seconds();
   const double w0 = rec ? rec->wall_us() : 0.0;
   const sched::Scheduler sched(cfg_);
-  const CostModel model(cfg_, gemm_cost_model(cfg_));
+  const GemmCostModel& gm = gemm_cost_model(cfg_);
   std::vector<sched::Candidate> cands = sched.candidates(op, opts);
   SWATOP_CHECK(!cands.empty())
       << "no valid schedule candidate for " << op.name();
   const double w_enum = rec ? rec->wall_us() : 0.0;
   if (rec)
-    tune_span(rec, "enumerate+lower", w0, w_enum,
-              static_cast<std::int64_t>(cands.size()));
+    tune_phase_span(rec, "enumerate+lower", w0, w_enum,
+                    static_cast<std::int64_t>(cands.size()));
+  const std::vector<double> est =
+      rank_candidates(cands, cfg_, gm, opts.num_threads);
   double best = std::numeric_limits<double>::infinity();
   std::size_t best_i = 0;
-  for (std::size_t i = 0; i < cands.size(); ++i) {
-    const double t = model.estimate(cands[i].program).total();
-    if (t < best) {
-      best = t;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    if (est[i] < best) {
+      best = est[i];
       best_i = i;
     }
   }
@@ -99,8 +149,8 @@ Tuned ModelTuner::tune(const dsl::OperatorDef& op,
   out.stats.valid_candidates = static_cast<std::int64_t>(cands.size());
   out.stats.seconds = now_seconds() - t0;
   if (rec) {
-    tune_span(rec, "rank (cost model)", w_enum, rec->wall_us(),
-              static_cast<std::int64_t>(cands.size()));
+    tune_phase_span(rec, "rank (cost model)", w_enum, rec->wall_us(),
+                    static_cast<std::int64_t>(cands.size()));
     rec->tune().space_size += out.stats.space_size;
     rec->tune().candidates_ranked += out.stats.valid_candidates;
     rec->tune().seconds += out.stats.seconds;
@@ -117,20 +167,24 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
   const double t0 = now_seconds();
   const double w0 = rec ? rec->wall_us() : 0.0;
   const sched::Scheduler sched(cfg_);
-  const CostModel model(cfg_, gemm_cost_model(cfg_));
+  const GemmCostModel& gm = gemm_cost_model(cfg_);
   std::vector<sched::Candidate> cands = sched.candidates(op, opts);
   SWATOP_CHECK(!cands.empty())
       << "no valid schedule candidate for " << op.name();
   const double w_enum = rec ? rec->wall_us() : 0.0;
   if (rec)
-    tune_span(rec, "enumerate+lower", w0, w_enum,
-              static_cast<std::int64_t>(cands.size()));
+    tune_phase_span(rec, "enumerate+lower", w0, w_enum,
+                    static_cast<std::int64_t>(cands.size()));
 
-  // Rank by predicted cycles; keep the k best indices.
+  // Rank by predicted cycles; keep the k best indices. The estimate vector
+  // is index-aligned, so the shortlist is stable across thread counts
+  // (ties break towards the lower index).
+  const std::vector<double> est =
+      rank_candidates(cands, cfg_, gm, opts.num_threads);
   std::vector<std::pair<double, std::size_t>> ranked;
   ranked.reserve(cands.size());
   for (std::size_t i = 0; i < cands.size(); ++i)
-    ranked.emplace_back(model.estimate(cands[i].program).total(), i);
+    ranked.emplace_back(est[i], i);
   const std::size_t keep =
       std::min<std::size_t>(static_cast<std::size_t>(k), ranked.size());
   std::partial_sort(ranked.begin(),
@@ -138,8 +192,8 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
                     ranked.end());
   const double w_rank = rec ? rec->wall_us() : 0.0;
   if (rec)
-    tune_span(rec, "rank (cost model)", w_enum, w_rank,
-              static_cast<std::int64_t>(cands.size()));
+    tune_phase_span(rec, "rank (cost model)", w_enum, w_rank,
+                    static_cast<std::int64_t>(cands.size()));
 
   // Measure the shortlist and keep the measured winner.
   sim::CoreGroup cg(cfg_);
@@ -153,7 +207,7 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
     const double wm0 = rec ? rec->wall_us() : 0.0;
     const double t = interp.run(cands[i].program, bt).cycles;
     if (rec) {
-      tune_span(rec, "measure candidate", wm0, rec->wall_us());
+      tune_phase_span(rec, "measure candidate", wm0, rec->wall_us());
       rec->record_tune_sample(
           {cands[i].strategy.to_string(), ranked[r].first, t});
     }
@@ -177,18 +231,26 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
   return out;
 }
 
-BlackBoxTuner::Result BlackBoxTuner::tune(
-    const dsl::OperatorDef& op, const sched::SchedulerOptions& opts) const {
+BlackBoxTuner::Result BlackBoxTuner::tune(const dsl::OperatorDef& op,
+                                          const sched::SchedulerOptions& opts,
+                                          obs::Recorder* rec) const {
   const double t0 = now_seconds();
+  const double w0 = rec ? rec->wall_us() : 0.0;
   const sched::Scheduler sched(cfg_);
   std::vector<sched::Candidate> cands = sched.candidates(op, opts);
   SWATOP_CHECK(!cands.empty())
       << "no valid schedule candidate for " << op.name();
+  const double w_enum = rec ? rec->wall_us() : 0.0;
+  if (rec)
+    tune_phase_span(rec, "enumerate+lower", w0, w_enum,
+                    static_cast<std::int64_t>(cands.size()));
 
   // Candidates are measured independently; fan out across hardware
   // threads, one scratch core group per thread. (The machine under test is
   // simulated, so concurrent measurements do not perturb each other --
-  // unlike the real black-box tuner this stands in for.)
+  // unlike the real black-box tuner this stands in for.) Workers touch
+  // only their own all_measured slots; observability is emitted after the
+  // join (see the header's aggregation note).
   Result res;
   res.all_measured.assign(cands.size(), 0.0);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -210,6 +272,9 @@ BlackBoxTuner::Result BlackBoxTuner::tune(
     });
   }
   for (std::thread& t : workers) t.join();
+  if (rec)
+    tune_phase_span(rec, "measure (parallel)", w_enum, rec->wall_us(),
+                    static_cast<std::int64_t>(cands.size()));
 
   double best = std::numeric_limits<double>::infinity();
   std::size_t best_i = 0;
@@ -219,11 +284,22 @@ BlackBoxTuner::Result BlackBoxTuner::tune(
       best_i = i;
     }
   }
+  if (rec) {
+    for (std::size_t i = 0; i < cands.size(); ++i)
+      rec->record_tune_sample(
+          {cands[i].strategy.to_string(), -1.0, res.all_measured[i]});
+  }
   res.best.candidate = std::move(cands[best_i]);
   res.best.cycles = best;
   res.best.stats.space_size = sched.space_size(op);
   res.best.stats.valid_candidates = static_cast<std::int64_t>(cands.size());
   res.best.stats.seconds = now_seconds() - t0;
+  if (rec) {
+    rec->tune().space_size += res.best.stats.space_size;
+    rec->tune().candidates_measured +=
+        static_cast<std::int64_t>(cands.size());
+    rec->tune().seconds += res.best.stats.seconds;
+  }
   return res;
 }
 

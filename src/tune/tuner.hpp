@@ -50,6 +50,13 @@ sched::Candidate build_candidate(const dsl::OperatorDef& op,
                                  const sim::SimConfig& cfg,
                                  bool prefetch = true);
 
+/// Same, with full optimizer options (the schedule-cache rebuild path must
+/// replicate the scheduler's SPM reserve, not just the prefetch flag).
+sched::Candidate build_candidate(const dsl::OperatorDef& op,
+                                 const dsl::Strategy& s,
+                                 const sim::SimConfig& cfg,
+                                 const opt::OptOptions& oo);
+
 class ModelTuner {
  public:
   explicit ModelTuner(const sim::SimConfig& cfg);
@@ -80,11 +87,25 @@ class BlackBoxTuner {
     Tuned best;
     std::vector<double> all_measured;  ///< per candidate, scheduler order
   };
+  /// When `rec` is given, black-box tuning is traced like ModelTuner's
+  /// phases, so Tab. 3 comparisons are observable on both sides. The
+  /// measurement fan-out runs on worker threads and the Recorder is not
+  /// thread-safe, so per-candidate results are *aggregated*: workers write
+  /// only their own result slots, and all spans, counters and tune samples
+  /// are emitted from the calling thread after the pool joins (one
+  /// "measure (parallel)" span covers the whole fan-out window).
   Result tune(const dsl::OperatorDef& op,
-              const sched::SchedulerOptions& opts = {}) const;
+              const sched::SchedulerOptions& opts = {},
+              obs::Recorder* rec = nullptr) const;
 
  private:
   sim::SimConfig cfg_;
 };
+
+/// Emit one tuner-phase span on the wall-clock track (pid 1); shared by the
+/// tuners and the Optimizer's cache fast-path. `us0`/`us1` come from
+/// rec->wall_us(); `count` >= 0 adds a "candidates" argument.
+void tune_phase_span(obs::Recorder* rec, const char* name, double us0,
+                     double us1, std::int64_t count = -1);
 
 }  // namespace swatop::tune

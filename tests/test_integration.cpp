@@ -115,6 +115,63 @@ TEST(Integration, WinogradConvOddOutput) {
   EXPECT_LE(optimize_and_check(op), 5e-3);
 }
 
+TEST(Integration, RepeatedExecuteDoesNotAccumulate) {
+  // Regression: the handle reuses its core group between runs with memory
+  // contents preserved, and the generated schedules *accumulate* into
+  // their outputs (C += A*B). A re-run must not double the result --
+  // execute() re-zeroes output tensors before each re-run rather than
+  // relying on every schedule's first-pass SPM zero guard.
+  ops::MatmulOp op(64, 64, 32);
+  OptimizedOperator tuned = Optimizer().optimize(op);
+  tuned.execute(sim::ExecMode::Functional);
+  EXPECT_LE(tuned.check_output(), kTol);
+  tuned.execute(sim::ExecMode::Functional);
+  EXPECT_LE(tuned.check_output(), kTol);
+  tuned.execute(sim::ExecMode::Functional);
+  EXPECT_LE(tuned.check_output(), kTol);
+}
+
+TEST(Integration, RepeatedExecuteConvDoesNotAccumulate) {
+  ops::ConvShape s;
+  s.batch = 2;
+  s.ni = 16;
+  s.no = 16;
+  s.ri = 6;
+  s.ci = 6;
+  ops::ImplicitConvOp op(s);
+  OptimizedOperator tuned = Optimizer().optimize(op);
+  tuned.execute(sim::ExecMode::Functional);
+  EXPECT_LE(tuned.check_output(), kTol);
+  tuned.execute(sim::ExecMode::Functional);
+  EXPECT_LE(tuned.check_output(), kTol);
+}
+
+TEST(Integration, OuterReductionReRunDoesNotAccumulate) {
+  // The riskiest re-run shape: order kmn with Tk < K places the reduction
+  // loop outside the C tile's scope, so the program re-fetches C from main
+  // memory and accumulates partial sums into it. Even through the
+  // low-level path (no execute()-level re-zero), a re-run must be
+  // idempotent: the first pass zeroes the SPM accumulator and the final
+  // DmaPut overwrites the tile.
+  ops::MatmulOp op(64, 64, 64);
+  dsl::Strategy s;
+  s.set_factor("Tm", 32);
+  s.set_factor("Tn", 32);
+  s.set_factor("Tk", 16);  // K = 64: four outer reduction passes
+  s.set_choice("order", "kmn");
+  s.set_choice("variant", "0");
+  s.set_choice("boundary", "pad");
+  const sim::SimConfig cfg;
+  const sched::Candidate cand = tune::build_candidate(op, s, cfg);
+  sim::CoreGroup cg(cfg);
+  const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
+  op.fill_inputs(cg, bt, s);
+  rt::Interpreter(cg, sim::ExecMode::Functional).run(cand.program, bt);
+  EXPECT_LE(op.check_output(cg, bt, s), kTol);
+  rt::Interpreter(cg, sim::ExecMode::Functional).run(cand.program, bt);
+  EXPECT_LE(op.check_output(cg, bt, s), kTol);
+}
+
 TEST(Integration, GeneratedCodeIsNonTrivial) {
   ops::MatmulOp op(64, 64, 32);
   Optimizer optimizer;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/check.hpp"
 #include "isa/kernel_cache.hpp"
 #include "isa/kernel_gen.hpp"
@@ -168,6 +171,50 @@ TEST(KernelCostDb, NearPeakThroughputOnBigTiles) {
   const double fpc = 2.0 * 256 * 256 * 256 / cycles;
   EXPECT_GT(fpc, 0.6 * cfg.peak_flops_per_cycle());
   EXPECT_LE(fpc, cfg.peak_flops_per_cycle() * 1.01);
+}
+
+TEST(KernelCostDbRegistry, ConcurrentFirstUseOfFreshKeys) {
+  // Regression: kernel_cost_db() used to hold the global registry mutex
+  // across the entire KernelCostDb construction, serializing every tuner
+  // worker behind the first use of a new machine key. Hammer the registry
+  // from many threads with two *fresh* keys (latencies no other test
+  // uses): every thread must get the same database object per key, and
+  // the build must not race (the ThreadSanitizer CI job checks this suite).
+  sim::SimConfig fresh_a;
+  fresh_a.vmad_latency = 6;
+  fresh_a.vload_latency = 5;
+  sim::SimConfig fresh_b;
+  fresh_b.vmad_latency = 6;
+  fresh_b.vload_latency = 6;
+
+  constexpr int kThreads = 8;
+  std::vector<const KernelCostDb*> got_a(kThreads, nullptr);
+  std::vector<const KernelCostDb*> got_b(kThreads, nullptr);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Alternate which key each thread requests first so both
+      // constructions really run concurrently with map churn.
+      if (t % 2 == 0) {
+        got_a[t] = &kernel_cost_db(fresh_a);
+        got_b[t] = &kernel_cost_db(fresh_b);
+      } else {
+        got_b[t] = &kernel_cost_db(fresh_b);
+        got_a[t] = &kernel_cost_db(fresh_a);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(got_a[t], got_a[0]);
+    EXPECT_EQ(got_b[t], got_b[0]);
+  }
+  EXPECT_NE(got_a[0], got_b[0]);
+  // The databases are fully constructed and usable.
+  const KernelVariant v = KernelVariant::from_index(0);
+  EXPECT_GT(got_a[0]->per_iter_cycles(v, RegBlock{4, 4}), 0.0);
+  EXPECT_GT(got_b[0]->per_iter_cycles(v, RegBlock{4, 4}), 0.0);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "ops/implicit_conv.hpp"
 #include "ops/matmul.hpp"
 #include "tune/cost_model.hpp"
 #include "tune/gemm_model.hpp"
@@ -127,6 +128,72 @@ TEST(Tuners, ModelTunerIsMuchFaster) {
   const Tuned fast = mt.tune(op);
   const auto slow = bb.tune(op);
   EXPECT_LT(fast.stats.seconds, slow.best.stats.seconds);
+}
+
+TEST(ModelTuner, ParallelPicksSameWinnerAsSerial) {
+  // The worker-pool enumerate->lower->rank path must be bit-deterministic:
+  // estimates are index-aligned and ties break by the first index, so any
+  // thread count picks the serial winner.
+  ops::ConvShape cs;
+  cs.batch = 4;
+  cs.ni = 32;
+  cs.no = 32;
+  cs.ri = 8;
+  cs.ci = 8;
+  ops::ImplicitConvOp conv(cs);
+  ops::MatmulOp small(64, 64, 32);
+  ops::MatmulOp odd(72, 56, 40);
+  const dsl::OperatorDef* ops_[] = {&small, &odd, &conv};
+  const ModelTuner tuner(cfg);
+  for (const dsl::OperatorDef* op : ops_) {
+    sched::SchedulerOptions serial;
+    serial.num_threads = 1;
+    sched::SchedulerOptions parallel;
+    parallel.num_threads = 0;  // hardware concurrency
+    const Tuned s = tuner.tune(*op, serial);
+    const Tuned p = tuner.tune(*op, parallel);
+    EXPECT_TRUE(p.candidate.strategy == s.candidate.strategy)
+        << op->name() << ": parallel picked "
+        << p.candidate.strategy.to_string() << " vs serial "
+        << s.candidate.strategy.to_string();
+    EXPECT_DOUBLE_EQ(p.cycles, s.cycles) << op->name();
+    EXPECT_EQ(p.stats.valid_candidates, s.stats.valid_candidates);
+    // Same for the top-k refinement (shortlist is rank-stable too).
+    const Tuned sk = tuner.tune_top_k(*op, 4, serial);
+    const Tuned pk = tuner.tune_top_k(*op, 4, parallel);
+    EXPECT_TRUE(pk.candidate.strategy == sk.candidate.strategy)
+        << op->name();
+    EXPECT_DOUBLE_EQ(pk.cycles, sk.cycles) << op->name();
+  }
+}
+
+TEST(BlackBoxTuner, RecordsTuningTrace) {
+  // Black-box tuning is observable like ModelTuner (Tab. 3 both sides):
+  // phases are spans on the tuner track, per-candidate results become tune
+  // samples, all emitted after the measurement pool joins.
+  ops::MatmulOp op(64, 64, 32);
+  const BlackBoxTuner tuner(cfg);
+  obs::Options oo;
+  oo.enabled = true;
+  obs::Recorder rec(oo);
+  const auto res = tuner.tune(op, {}, &rec);
+  EXPECT_EQ(rec.tune().candidates_measured,
+            res.best.stats.valid_candidates);
+  EXPECT_EQ(rec.tune().space_size, res.best.stats.space_size);
+  EXPECT_GT(rec.tune().seconds, 0.0);
+  EXPECT_EQ(static_cast<std::int64_t>(rec.tune_samples().size()),
+            res.best.stats.valid_candidates);
+  for (const obs::TuneSample& s : rec.tune_samples()) {
+    EXPECT_LT(s.predicted_cycles, 0.0);  // no model estimate in black-box
+    EXPECT_GT(s.measured_cycles, 0.0);
+  }
+  bool saw_enum = false, saw_measure = false;
+  for (const obs::TraceEvent& ev : rec.buffer().snapshot()) {
+    if (ev.name == "enumerate+lower") saw_enum = true;
+    if (ev.name == "measure (parallel)") saw_measure = true;
+  }
+  EXPECT_TRUE(saw_enum);
+  EXPECT_TRUE(saw_measure);
 }
 
 TEST(MeasureStrategy, ThrowsOnInvalidStrategy) {

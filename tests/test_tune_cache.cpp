@@ -1,0 +1,371 @@
+// Schedule-cache correctness: round-trip through memory and disk, key
+// isolation across machines/shapes/knobs, version invalidation, corruption
+// tolerance, thread safety, and the Optimizer's warm fast path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/swatop.hpp"
+#include "ops/implicit_conv.hpp"
+#include "ops/matmul.hpp"
+#include "tune/schedule_cache.hpp"
+
+namespace swatop::tune {
+namespace {
+
+CacheConfig disk_cfg(const std::string& path, bool read_only = false) {
+  CacheConfig c;
+  c.enabled = true;
+  c.path = path;
+  c.read_only = read_only;
+  return c;
+}
+
+std::string temp_cache_path(const std::string& name) {
+  const std::filesystem::path p =
+      std::filesystem::temp_directory_path() / ("swatop_" + name + ".cache");
+  std::filesystem::remove(p);
+  return p.string();
+}
+
+dsl::Strategy sample_strategy() {
+  dsl::Strategy s;
+  s.set_factor("Tm", 64);
+  s.set_factor("Tn", 128);
+  s.set_factor("Tk", 32);
+  s.set_choice("order", "mnk");
+  s.set_choice("variant", "0");  // numeric-looking choice: must stay a choice
+  s.set_choice("boundary", "pad");
+  return s;
+}
+
+TEST(StrategySerialize, RoundTripsAndKeepsKindTags) {
+  const dsl::Strategy s = sample_strategy();
+  const std::string text = s.serialize();
+  // Deterministic, sorted, kind-tagged.
+  EXPECT_EQ(text,
+            "f:Tk=32 f:Tm=64 f:Tn=128 c:boundary=pad c:order=mnk "
+            "c:variant=0");
+  const auto back = dsl::Strategy::parse(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+  EXPECT_EQ(back->factor("Tn"), 128);
+  EXPECT_EQ(back->choice("variant"), "0");
+  EXPECT_FALSE(back->has_factor("variant"));  // not demoted to a factor
+}
+
+TEST(StrategySerialize, RejectsMalformedText) {
+  EXPECT_FALSE(dsl::Strategy::parse("x:Tm=64").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("f:Tm").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("f:=64").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("f:Tm=abc").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("f:Tm=64 garbage").has_value());
+  EXPECT_TRUE(dsl::Strategy::parse("f:Tm=abc").value_or(dsl::Strategy{}) ==
+              dsl::Strategy{});  // value_or falls back on a failed parse
+}
+
+TEST(ScheduleCache, MemoryRoundTrip) {
+  ScheduleCache cache(disk_cfg(""));
+  CacheEntry e;
+  e.strategy = sample_strategy();
+  e.prefetch = true;
+  e.predicted_cycles = 12345.5;
+  e.measured_cycles = 13000.25;
+  cache.store("key-a", e);
+  const auto got = cache.lookup("key-a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->strategy, e.strategy);
+  EXPECT_TRUE(got->prefetch);
+  EXPECT_DOUBLE_EQ(got->predicted_cycles, 12345.5);
+  EXPECT_DOUBLE_EQ(got->measured_cycles, 13000.25);
+  EXPECT_FALSE(cache.lookup("key-b").has_value());
+}
+
+TEST(ScheduleCache, DiskRoundTripAcrossInstances) {
+  const std::string path = temp_cache_path("roundtrip");
+  CacheEntry e;
+  e.strategy = sample_strategy();
+  e.prefetch = true;
+  e.predicted_cycles = 98765.0;
+  e.measured_cycles = 0.0;
+  {
+    ScheduleCache cache(disk_cfg(path));
+    cache.store("key-a", e);
+    // Overwrites append; last one wins on reload.
+    e.predicted_cycles = 55555.0;
+    cache.store("key-a", e);
+  }
+  ScheduleCache reloaded(disk_cfg(path));
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.corrupt_entries_skipped(), 0);
+  const auto got = reloaded.lookup("key-a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->strategy, e.strategy);
+  EXPECT_DOUBLE_EQ(got->predicted_cycles, 55555.0);
+  std::filesystem::remove(path);
+}
+
+TEST(ScheduleCache, FingerprintIsolatesMachinesShapesAndKnobs) {
+  const TunerKnobs knobs;
+  const ops::MatmulOp op_a(512, 512, 512);
+  const ops::MatmulOp op_b(512, 512, 256);
+  const std::string base = ScheduleCache::fingerprint(
+      op_a.name(), sim::SimConfig::sw26010(), knobs);
+  // Same inputs -> same key.
+  EXPECT_EQ(base, ScheduleCache::fingerprint(
+                      op_a.name(), sim::SimConfig::sw26010(), knobs));
+  // Different machine (sw26010pro: bigger SPM, faster clock) never collides.
+  EXPECT_NE(base, ScheduleCache::fingerprint(
+                      op_a.name(), sim::SimConfig::sw26010pro(), knobs));
+  // Different dims never collide.
+  EXPECT_NE(base, ScheduleCache::fingerprint(
+                      op_b.name(), sim::SimConfig::sw26010(), knobs));
+  // Every tuner knob participates.
+  TunerKnobs k2 = knobs;
+  k2.prefetch = false;
+  EXPECT_NE(base, ScheduleCache::fingerprint(op_a.name(),
+                                             sim::SimConfig::sw26010(), k2));
+  k2 = knobs;
+  k2.spm_reserve_floats = 1024;
+  EXPECT_NE(base, ScheduleCache::fingerprint(op_a.name(),
+                                             sim::SimConfig::sw26010(), k2));
+  k2 = knobs;
+  k2.top_k = 8;
+  EXPECT_NE(base, ScheduleCache::fingerprint(op_a.name(),
+                                             sim::SimConfig::sw26010(), k2));
+}
+
+TEST(ScheduleCache, VersionBumpInvalidatesOldFile) {
+  const std::string path = temp_cache_path("version");
+  {
+    std::ofstream out(path);
+    out << "# swatop-schedule-cache v0\n";
+    out << "some-key\t1\t2\t1\tf:Tm=64\n";
+  }
+  ScheduleCache cache(disk_cfg(path));
+  EXPECT_EQ(cache.size(), 0u);  // stale version: every entry ignored
+  EXPECT_FALSE(cache.lookup("some-key").has_value());
+  // The first store rewrites the file in the current format.
+  CacheEntry e;
+  e.strategy = sample_strategy();
+  cache.store("fresh-key", e);
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, ScheduleCache::file_header());
+  ScheduleCache reloaded(disk_cfg(path));
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_FALSE(reloaded.lookup("some-key").has_value());
+  EXPECT_TRUE(reloaded.lookup("fresh-key").has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(ScheduleCache, CorruptEntriesAreSkippedNotFatal) {
+  const std::string path = temp_cache_path("corrupt");
+  {
+    std::ofstream out(path);
+    out << ScheduleCache::file_header() << "\n";
+    out << "good-key\t100\t200\t1\t" << sample_strategy().serialize()
+        << "\n";
+    out << "too-few-fields\t1\t2\n";
+    out << "bad-double\tNOTANUMBER\t2\t0\tf:Tm=64\n";
+    out << "bad-prefetch\t1\t2\t7\tf:Tm=64\n";
+    out << "bad-strategy\t1\t2\t0\tf:Tm=sixty-four\n";
+    out << "empty-strategy\t1\t2\t0\t\n";
+    out << "\x01\x02 binary junk line without tabs\n";
+  }
+  ScheduleCache cache(disk_cfg(path));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.corrupt_entries_skipped(), 6);
+  const auto got = cache.lookup("good-key");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->strategy, sample_strategy());
+  // save() compacts: reload sees only the good entry and no corruption.
+  EXPECT_TRUE(cache.save());
+  ScheduleCache compacted(disk_cfg(path));
+  EXPECT_EQ(compacted.size(), 1u);
+  EXPECT_EQ(compacted.corrupt_entries_skipped(), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(ScheduleCache, ReadOnlyNeverTouchesDisk) {
+  const std::string path = temp_cache_path("readonly");
+  {
+    ScheduleCache writer(disk_cfg(path));
+    CacheEntry e;
+    e.strategy = sample_strategy();
+    writer.store("banked", e);
+  }
+  const auto mtime = std::filesystem::last_write_time(path);
+  ScheduleCache ro(
+      disk_cfg(path, /*read_only=*/true));
+  ASSERT_TRUE(ro.lookup("banked").has_value());
+  CacheEntry e;
+  e.strategy = sample_strategy();
+  ro.store("new-key", e);          // updates memory...
+  EXPECT_TRUE(ro.lookup("new-key").has_value());
+  EXPECT_FALSE(ro.save());         // ...but never the file
+  EXPECT_EQ(std::filesystem::last_write_time(path), mtime);
+  ScheduleCache reloaded(disk_cfg(path));
+  EXPECT_FALSE(reloaded.lookup("new-key").has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(ScheduleCache, ConcurrentStoreAndLookup) {
+  const std::string path = temp_cache_path("threads");
+  ScheduleCache cache(disk_cfg(path));
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        CacheEntry e;
+        e.strategy = sample_strategy();
+        e.predicted_cycles = t * 1000 + i;
+        cache.store("shared-key", e);  // contended key
+        cache.store("key-" + std::to_string(t) + "-" + std::to_string(i),
+                    e);
+        (void)cache.lookup("shared-key");
+        (void)cache.lookup("key-0-0");
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(cache.size(), 1u + kThreads * kKeysPerThread);
+  ScheduleCache reloaded(disk_cfg(path));
+  EXPECT_EQ(reloaded.size(), 1u + kThreads * kKeysPerThread);
+  EXPECT_EQ(reloaded.corrupt_entries_skipped(), 0);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace swatop::tune
+
+namespace swatop {
+namespace {
+
+TEST(OptimizerCache, WarmHitReturnsIdenticalStrategyWithoutSearch) {
+  ops::MatmulOp op(96, 64, 40);
+  SwatopConfig cfg;
+  cfg.cache.enabled = true;  // in-memory cache shared within the Optimizer
+  cfg.observability.enabled = true;
+  const Optimizer optimizer(cfg);
+
+  const OptimizedOperator cold = optimizer.optimize(op);
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_GT(cold.stats.valid_candidates, 1);
+
+  const OptimizedOperator warm = optimizer.optimize(op);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.candidate.strategy, cold.candidate.strategy);
+  EXPECT_EQ(warm.candidate.prefetch, cold.candidate.prefetch);
+  EXPECT_DOUBLE_EQ(warm.predicted_cycles, cold.predicted_cycles);
+  // The warm path rebuilds exactly one candidate: the banked winner.
+  EXPECT_EQ(warm.stats.valid_candidates, 1);
+  EXPECT_EQ(warm.c_source, cold.c_source);
+}
+
+TEST(OptimizerCache, WarmResultIsFunctionallyCorrect) {
+  ops::ConvShape s;
+  s.batch = 4;
+  s.ni = 32;
+  s.no = 32;
+  s.ri = 8;
+  s.ci = 8;
+  ops::ImplicitConvOp op(s);
+  SwatopConfig cfg;
+  cfg.cache.enabled = true;
+  const Optimizer optimizer(cfg);
+  (void)optimizer.optimize(op);  // cold: banks the winner
+  OptimizedOperator warm = optimizer.optimize(op);
+  ASSERT_TRUE(warm.from_cache);
+  warm.execute(sim::ExecMode::Functional);
+  EXPECT_LE(warm.check_output(), 2e-3);
+}
+
+TEST(OptimizerCache, PersistsAcrossOptimizers) {
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "swatop_optimizer_persist.cache")
+                               .string();
+  std::filesystem::remove(path);
+  ops::MatmulOp op(72, 56, 40);
+  SwatopConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.cache.path = path;
+
+  const OptimizedOperator cold = Optimizer(cfg).optimize(op);
+  EXPECT_FALSE(cold.from_cache);
+
+  // A brand-new Optimizer (fresh process in real deployments) reloads the
+  // banked winner from disk.
+  const OptimizedOperator warm = Optimizer(cfg).optimize(op);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.candidate.strategy, cold.candidate.strategy);
+
+  // A different machine misses: the key isolates sw26010 from sw26010pro.
+  SwatopConfig pro = cfg;
+  pro.machine = sim::SimConfig::sw26010pro();
+  const OptimizedOperator pro_run = Optimizer(pro).optimize(op);
+  EXPECT_FALSE(pro_run.from_cache);
+  std::filesystem::remove(path);
+}
+
+TEST(OptimizerCache, ObservabilityCountsHitsMissesStores) {
+  ops::MatmulOp op(64, 64, 32);
+  SwatopConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.observability.enabled = true;
+  const Optimizer optimizer(cfg);
+
+  OptimizedOperator cold = optimizer.optimize(op);
+  const auto cold_run = cold.execute(sim::ExecMode::TimingOnly);
+  ASSERT_TRUE(cold_run.profile.enabled);
+  EXPECT_EQ(cold_run.profile.tune.cache_hits, 0);
+  EXPECT_EQ(cold_run.profile.tune.cache_misses, 1);
+  EXPECT_EQ(cold_run.profile.tune.cache_stores, 1);
+
+  OptimizedOperator warm = optimizer.optimize(op);
+  const auto warm_run = warm.execute(sim::ExecMode::TimingOnly);
+  EXPECT_EQ(warm_run.profile.tune.cache_hits, 1);
+  EXPECT_EQ(warm_run.profile.tune.cache_misses, 0);
+  bool saw_hit_span = false;
+  for (const auto& ev : warm_run.profile.events)
+    if (ev.name == "cache hit (rebuild)") saw_hit_span = true;
+  EXPECT_TRUE(saw_hit_span);
+  // The report mentions the cache traffic.
+  EXPECT_NE(warm_run.profile.report().find("schedule cache"),
+            std::string::npos);
+}
+
+TEST(OptimizerCache, CorruptBankedStrategyFallsBackToTuning) {
+  // An entry that parses but no longer lowers (e.g. hand-edited file) must
+  // be treated as a miss, not a crash.
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "swatop_corrupt_entry.cache")
+                               .string();
+  std::filesystem::remove(path);
+  ops::MatmulOp op(64, 64, 32);
+  SwatopConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.cache.path = path;
+  const std::string key = tune::ScheduleCache::fingerprint(
+      op.name(), cfg.machine, cfg.tuner_knobs());
+  {
+    std::ofstream out(path);
+    out << tune::ScheduleCache::file_header() << "\n";
+    // Valid line shape, nonsense schedule: lowering will throw.
+    out << key << "\t1\t2\t1\tf:Tm=3 c:order=zzz\n";
+  }
+  const OptimizedOperator tuned = Optimizer(cfg).optimize(op);
+  EXPECT_FALSE(tuned.from_cache);
+  EXPECT_GT(tuned.stats.valid_candidates, 1);  // really searched
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace swatop
