@@ -1,0 +1,33 @@
+// Static IR validator: structural sanity of a lowered (and optimized)
+// program, run by the scheduler after lower+optimize so malformed programs
+// are rejected before they reach the interpreter or the C emitter. The
+// validator is the static half of the correctness layer; the simulator
+// sanitizers (SimConfig::sanitize) are the dynamic half.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/node.hpp"
+#include "sim/config.hpp"
+
+namespace swatop::check {
+
+/// Validate a program, returning every problem found (empty = valid):
+///   - SPM buffer references (zero / DMA / gemm operands) to buffers never
+///     allocated, or used before their SpmAlloc in program order;
+///   - duplicate or non-positive SpmAlloc;
+///   - aggregate SPM footprint over the machine's capacity;
+///   - DmaWait on a reply slot no DMA in the program can issue, or slots
+///     outside the reply table (reply expressions are evaluated over all
+///     parity assignments of the loop variables, which covers the
+///     double-buffering pass's `base + 2*s + (v % 2)` remapping);
+///   - For extents that can evaluate <= 0 (outer loop variables at 0);
+///   - gemm nodes without SPM bindings (DMA inference never ran).
+std::vector<std::string> validate_ir(const ir::StmtPtr& root,
+                                     const sim::SimConfig& cfg);
+
+/// Throws swatop::CheckError listing every problem when validation fails.
+void validate_ir_or_throw(const ir::StmtPtr& root, const sim::SimConfig& cfg);
+
+}  // namespace swatop::check

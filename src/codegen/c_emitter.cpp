@@ -169,7 +169,7 @@ std::string emit_c(const ir::StmtPtr& root, const EmitOptions& opts) {
 
   os << "void " << opts.kernel_name
      << "(const swatop_args_t *args) {\n"
-     << "  swReplyWord reply[256];\n";
+     << "  swReplyWord reply[" << ir::kMaxReplySlots << "];\n";
   // Tensor pointers: every tensor mentioned by a DMA node.
   std::vector<std::string> tensors;
   ir::visit(root, [&](const ir::StmtPtr& n) {

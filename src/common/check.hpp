@@ -18,6 +18,17 @@ class CheckError : public std::runtime_error {
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by the simulator sanitizers (SimConfig::sanitize): a lowered
+/// schedule performed an operation that is well-defined in the simulator
+/// but would be wrong or racy on the real hardware (reading undefined SPM,
+/// touching an in-flight DMA range, walking out of the owning tensor).
+/// Distinct from CheckError so the fuzzer and tests can tell "the sanitizer
+/// caught it" apart from "an internal invariant broke".
+class SanitizerError : public CheckError {
+ public:
+  explicit SanitizerError(const std::string& what) : CheckError(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* cond, const char* file,

@@ -13,6 +13,20 @@
 
 namespace swatop::ir {
 
+/// Size of the reply-word table every lowered program may address. Shared
+/// by the interpreter (its completion-time table), the double-buffering
+/// pass (which remaps reply slots into the prefetch range) and the C
+/// emitter (the generated `swReplyWord reply[...]` declaration) -- the
+/// three must agree or a schedule that is legal for one layer silently
+/// corrupts another.
+inline constexpr std::int64_t kMaxReplySlots = 256;
+
+/// First reply slot owned by the double-buffering pass. Slots below this
+/// are the DMA-inference operand streams (one per tensor operand); the
+/// pass maps stream slot `s` with parity `p` to `kPrefetchReplyBase +
+/// 2*s + p`.
+inline constexpr std::int64_t kPrefetchReplyBase = 100;
+
 enum class StmtKind {
   Seq,
   For,

@@ -41,6 +41,21 @@ struct RegCommCounters {
   std::int64_t col_bytes = 0;
 };
 
+/// Simulator sanitizer trips (SimConfig::sanitize). Every trip also throws
+/// swatop::SanitizerError; the counters record *which* check fired so a
+/// profile of a failed run says what went wrong without parsing the error.
+struct SanitizerCounters {
+  std::int64_t spm_poison_trips = 0;  ///< read of a never-defined SPM float
+  std::int64_t dma_bounds_trips = 0;  ///< DMA outside the owning tensor
+  std::int64_t dma_overlap_trips = 0; ///< touched an in-flight DMA range
+  std::int64_t reply_slot_trips = 0;  ///< slot reuse / wait-on-empty / leak
+
+  std::int64_t total() const {
+    return spm_poison_trips + dma_bounds_trips + dma_overlap_trips +
+           reply_slot_trips;
+  }
+};
+
 /// One CPE's share of the run.
 struct CpeCounters {
   std::int64_t dma_bytes = 0;      ///< payload bytes moved to/from this SPM
@@ -56,6 +71,7 @@ struct Counters {
   DmaCounters dma;
   PipeCounters pipe;
   RegCommCounters reg_comm;
+  SanitizerCounters sanitizer;
   std::int64_t spm_high_water_floats = 0;
   std::int64_t spm_capacity_floats = 0;
   std::int64_t spm_reads = 0;   ///< functional-mode SPM element reads

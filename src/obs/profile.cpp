@@ -122,6 +122,17 @@ std::string Profile::report() const {
     line(os, "element accesses",
          fmt("%" PRId64 " reads, %" PRId64 " writes", c.spm_reads,
              c.spm_writes));
+  if (c.sanitizer.total() > 0) {
+    os << "sanitizer trips\n";
+    if (c.sanitizer.spm_poison_trips > 0)
+      line(os, "spm poison", fmt("%" PRId64, c.sanitizer.spm_poison_trips));
+    if (c.sanitizer.dma_bounds_trips > 0)
+      line(os, "dma bounds", fmt("%" PRId64, c.sanitizer.dma_bounds_trips));
+    if (c.sanitizer.dma_overlap_trips > 0)
+      line(os, "dma overlap", fmt("%" PRId64, c.sanitizer.dma_overlap_trips));
+    if (c.sanitizer.reply_slot_trips > 0)
+      line(os, "reply slots", fmt("%" PRId64, c.sanitizer.reply_slot_trips));
+  }
   os << "pipeline (per CPE, est. from kernel-cost fits)\n";
   line(os, "P0 issued", fmt("%.0f", c.pipe.issued_p0));
   line(os, "P1 issued", fmt("%.0f", c.pipe.issued_p1));

@@ -13,7 +13,7 @@ namespace ir = swatop::ir;
 
 namespace {
 
-constexpr std::int64_t kPrefetchReplyBase = 100;
+using ir::kPrefetchReplyBase;
 
 /// A DMA get directly inside the target loop body, with its trailing wait
 /// and optional preceding zero-fill guard.
@@ -173,6 +173,9 @@ bool apply_one(ir::StmtPtr& root) {
     alloc->double_buffered = true;
     const std::int64_t half = align_up(alloc->buf_floats, 8);
     const std::int64_t slot = ir::as_cst(get->dma.reply);
+    SWATOP_CHECK(kPrefetchReplyBase + 2 * slot + 1 < ir::kMaxReplySlots)
+        << "prefetch reply slot for stream " << slot
+        << " exceeds the reply table (" << ir::kMaxReplySlots << " slots)";
     const ir::Expr reply_cur =
         ir::add(ir::cst(kPrefetchReplyBase + 2 * slot), parity_cur);
     const ir::Expr reply_next =

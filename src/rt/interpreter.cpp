@@ -1,6 +1,7 @@
 #include "rt/interpreter.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "common/check.hpp"
@@ -20,16 +21,111 @@ std::int64_t Interpreter::spm_base(const std::string& buf) const {
   return it->second;
 }
 
+std::string Interpreter::loop_context() const {
+  if (loop_stack_.empty()) return "at top level";
+  std::ostringstream os;
+  os << "at ";
+  for (std::size_t i = 0; i < loop_stack_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << loop_stack_[i].first << "=" << loop_stack_[i].second;
+  }
+  return os.str();
+}
+
+void Interpreter::sanitizer_trip(std::int64_t obs::SanitizerCounters::*ctr,
+                                 const std::string& what) {
+  cg_.stats().sanitizer.*ctr += 1;
+  throw SanitizerError("swATOP sanitizer: " + what);
+}
+
+void Interpreter::check_overlap(std::int64_t lo, std::int64_t hi, bool writes,
+                                const std::string& who) {
+  if (!cg_.config().sanitize.overlap_on()) return;
+  for (std::int64_t slot = 0; slot < ir::kMaxReplySlots; ++slot) {
+    if (reply_done_[static_cast<std::size_t>(slot)] < 0.0) continue;
+    const SlotInfo& si = slot_info_[static_cast<std::size_t>(slot)];
+    if (lo >= si.spm_hi || si.spm_lo >= hi) continue;
+    if (!writes && !si.writes_spm) continue;  // two readers may share
+    std::ostringstream os;
+    os << who << " touches SPM floats [" << lo << ", " << hi
+       << ") while a DMA " << (si.writes_spm ? "get into" : "put from")
+       << " buffer '" << si.buf << "' (reply slot " << slot
+       << ", SPM [" << si.spm_lo << ", " << si.spm_hi
+       << ")) is still in flight " << loop_context();
+    sanitizer_trip(&obs::SanitizerCounters::dma_overlap_trips, os.str());
+  }
+}
+
+void Interpreter::check_dma_bounds(const ir::Stmt& s, const DmaGeometry& geo) {
+  if (!cg_.config().sanitize.bounds_on()) return;
+  if (geo.rows <= 0 || geo.cols <= 0) return;
+  const auto t = tensors_->find(s.dma.view.tensor);
+  const auto it = alloc_floats_.find(t->second);
+  if (it == alloc_floats_.end()) return;  // not a named arena allocation
+  const std::int64_t r_span = (geo.rows - 1) * s.dma.view.stride_r;
+  const std::int64_t c_span = (geo.cols - 1) * s.dma.view.stride_c;
+  const std::int64_t lo =
+      geo.base + std::min<std::int64_t>(r_span, 0) +
+      std::min<std::int64_t>(c_span, 0);
+  const std::int64_t hi =
+      geo.base + std::max<std::int64_t>(r_span, 0) +
+      std::max<std::int64_t>(c_span, 0);
+  if (lo >= t->second && hi < t->second + it->second) return;
+  std::ostringstream os;
+  os << "DMA " << (s.kind == ir::StmtKind::DmaGet ? "get" : "put")
+     << " touches floats [" << lo << ", " << hi + 1 << ") of tensor '"
+     << s.dma.view.tensor << "' which owns [" << t->second << ", "
+     << t->second + it->second << ") -- region " << geo.rows << "x"
+     << geo.cols << " strides (" << s.dma.view.stride_r << ", "
+     << s.dma.view.stride_c << ") " << loop_context();
+  sanitizer_trip(&obs::SanitizerCounters::dma_bounds_trips, os.str());
+}
+
+void Interpreter::check_defined(std::int64_t a, std::int64_t n,
+                                const std::string& buf,
+                                const std::string& who) {
+  if (n <= 0) return;
+  const sim::SimConfig& cfg = cg_.config();
+  for (int r = 0; r < cfg.mesh_rows; ++r) {
+    for (int c = 0; c < cfg.mesh_cols; ++c) {
+      const std::int64_t p =
+          cg_.cluster().at(r, c).spm().first_poisoned(a, n);
+      if (p < 0) continue;
+      std::ostringstream os;
+      os << who << " reads SPM float " << p << " of buffer '" << buf
+         << "' (offset " << p - spm_base(buf)
+         << " within the buffer) on CPE (" << r << "," << c
+         << "), which was never written by a DMA, zero-fill or GEMM "
+         << loop_context();
+      sanitizer_trip(&obs::SanitizerCounters::spm_poison_trips, os.str());
+    }
+  }
+}
+
 RunResult Interpreter::run(const ir::StmtPtr& root,
                            const dsl::BoundTensors& tensors) {
   cg_.reset_execution();
   obs_ = cg_.observer();
   spm_off_.clear();
-  reply_done_.assign(256, -1.0);
+  reply_done_.assign(static_cast<std::size_t>(ir::kMaxReplySlots), -1.0);
+  slot_info_.assign(static_cast<std::size_t>(ir::kMaxReplySlots),
+                    SlotInfo{});
+  loop_stack_.clear();
+  alloc_floats_.clear();
+  if (cg_.config().sanitize.bounds_on()) {
+    for (const auto& a : cg_.mem().allocations())
+      alloc_floats_[a.base] = a.size;
+  }
   tensors_ = &tensors;
   exec(root);
-  for (double d : reply_done_)
-    SWATOP_CHECK(d < 0.0) << "program ended with in-flight DMA";
+  for (std::int64_t slot = 0; slot < ir::kMaxReplySlots; ++slot) {
+    if (reply_done_[static_cast<std::size_t>(slot)] < 0.0) continue;
+    std::ostringstream os;
+    os << "program ended with in-flight DMA on reply slot " << slot
+       << " (buffer '" << slot_info_[static_cast<std::size_t>(slot)].buf
+       << "') -- a DmaWait was skipped or its slot expression is wrong";
+    sanitizer_trip(&obs::SanitizerCounters::reply_slot_trips, os.str());
+  }
   RunResult r;
   r.cycles = cg_.now();
   r.stats = cg_.stats();
@@ -62,10 +158,13 @@ void Interpreter::exec(const ir::StmtPtr& s) {
     case ir::StmtKind::For: {
       const std::int64_t n = eval_.eval(s->extent);
       const int slot = eval_.slot_of(s->var);
+      loop_stack_.emplace_back(s->var, 0);
       for (std::int64_t i = 0; i < n; ++i) {
+        loop_stack_.back().second = i;
         eval_.set(slot, i);
         exec(s->for_body);
       }
+      loop_stack_.pop_back();
       return;
     }
     case ir::StmtKind::If:
@@ -75,9 +174,28 @@ void Interpreter::exec(const ir::StmtPtr& s) {
         exec(s->else_s);
       return;
     case ir::StmtKind::SpmAlloc: {
+      // One alignment rule for single- and double-buffered allocations:
+      // each buffer (and each half) spans align_up(buf_floats, 8) floats.
+      // ir::spm_footprint, the C emitter and the double-buffering pass all
+      // size with the same formula, so the interpreter's layout is the
+      // layout every other layer assumes.
       const std::int64_t half = align_up(s->buf_floats, 8);
-      const std::int64_t total = s->double_buffered ? 2 * half : s->buf_floats;
-      spm_off_[s->buf_name] = cg_.cluster().spm_alloc(total, s->buf_name);
+      const std::int64_t total = s->double_buffered ? 2 * half : half;
+      const std::int64_t base = cg_.cluster().spm_alloc(total, s->buf_name);
+      // The second half's base must be what dma_expand and the kernels
+      // compute from the parity expression: base + parity * half, with
+      // both halves vector-aligned.
+      SWATOP_CHECK(base % 8 == 0 && (base + half) % 8 == 0)
+          << "SPM allocation '" << s->buf_name << "' at " << base
+          << " breaks the 8-float alignment the double-buffer offsets "
+             "assume";
+      spm_off_[s->buf_name] = base;
+      if (cg_.config().sanitize.poison_on()) {
+        const sim::SimConfig& cfg = cg_.config();
+        for (int r = 0; r < cfg.mesh_rows; ++r)
+          for (int c = 0; c < cfg.mesh_cols; ++c)
+            cg_.cluster().at(r, c).spm().poison(base, total);
+      }
       if (obs_ != nullptr && obs_->tracing()) {
         obs::TraceEvent ev;
         ev.name = "spm_alloc " + s->buf_name;
@@ -102,9 +220,23 @@ void Interpreter::exec(const ir::StmtPtr& s) {
       return;
     case ir::StmtKind::DmaWait: {
       const std::int64_t slot = eval_.eval(s->wait_reply);
-      SWATOP_CHECK(slot >= 0 && slot < 256 &&
-                   reply_done_[static_cast<std::size_t>(slot)] >= 0.0)
-          << "dma_wait on empty reply slot " << slot;
+      if (slot < 0 || slot >= ir::kMaxReplySlots) {
+        std::ostringstream os;
+        os << "dma_wait on reply slot " << slot << " outside the "
+           << ir::kMaxReplySlots << "-entry reply table " << loop_context();
+        sanitizer_trip(&obs::SanitizerCounters::reply_slot_trips, os.str());
+      }
+      if (reply_done_[static_cast<std::size_t>(slot)] < 0.0) {
+        const std::string& buf =
+            slot_info_[static_cast<std::size_t>(slot)].buf;
+        std::ostringstream os;
+        os << "dma_wait on empty reply slot " << slot << " ("
+           << (buf.empty() ? std::string("never issued")
+                           : "last completed transfer was for buffer '" +
+                                 buf + "'")
+           << ") " << loop_context();
+        sanitizer_trip(&obs::SanitizerCounters::reply_slot_trips, os.str());
+      }
       const double done = reply_done_[static_cast<std::size_t>(slot)];
       if (obs_ != nullptr && obs_->tracing() && done > cg_.now()) {
         obs::TraceEvent ev;
@@ -134,6 +266,8 @@ void Interpreter::exec_zero(const ir::Stmt& s) {
   const std::int64_t off = spm_base(s.buf_name) + eval_.eval(s.zero_off);
   const std::int64_t n = eval_.eval(s.zero_floats);
   if (n <= 0) return;
+  check_overlap(off, off + n,
+                /*writes=*/true, "spm_zero of buffer '" + s.buf_name + "'");
   if (obs_ != nullptr && obs_->tracing()) {
     obs::TraceEvent ev;
     ev.name = "spm_zero " + s.buf_name;
@@ -163,13 +297,33 @@ void Interpreter::exec_dma(const ir::Stmt& s) {
       << "unbound tensor '" << d.view.tensor << "'";
   const DmaGeometry geo = evaluate_dma(d, eval_, t->second, cfg);
   const std::int64_t spm_at = spm_base(d.spm_buf) + eval_.eval(d.spm_off);
+  const std::int64_t slot = eval_.eval(d.reply);
+  const bool is_get = d.dir == ir::Direction::MemToSpm;
+  if (slot < 0 || slot >= ir::kMaxReplySlots) {
+    std::ostringstream os;
+    os << "DMA " << (is_get ? "get" : "put") << " of buffer '" << d.spm_buf
+       << "' uses reply slot " << slot << " outside the "
+       << ir::kMaxReplySlots << "-entry reply table " << loop_context();
+    sanitizer_trip(&obs::SanitizerCounters::reply_slot_trips, os.str());
+  }
+  if (reply_done_[static_cast<std::size_t>(slot)] >= 0.0) {
+    std::ostringstream os;
+    os << "reply slot " << slot << " already in flight for buffer '"
+       << slot_info_[static_cast<std::size_t>(slot)].buf
+       << "' when reissued for buffer '" << d.spm_buf << "' "
+       << loop_context();
+    sanitizer_trip(&obs::SanitizerCounters::reply_slot_trips, os.str());
+  }
+  check_dma_bounds(s, geo);
+  const std::int64_t spm_hi = spm_at + geo.tr * geo.tc;
+  check_overlap(spm_at, spm_hi, is_get,
+                std::string("DMA ") + (is_get ? "get into" : "put from") +
+                    " buffer '" + d.spm_buf + "'");
   const sim::DmaCost& cost = dma_cost_cache_.get(d, geo, cg_.dma(), cfg);
   const double done = cg_.dma_issue_cost_at(cost);
-  const std::int64_t slot = eval_.eval(d.reply);
-  SWATOP_CHECK(slot >= 0 && slot < 256 &&
-               reply_done_[static_cast<std::size_t>(slot)] < 0.0)
-      << "reply slot " << slot << " already in flight";
   reply_done_[static_cast<std::size_t>(slot)] = done;
+  slot_info_[static_cast<std::size_t>(slot)] =
+      SlotInfo{d.spm_buf, spm_at, spm_hi, is_get};
 
   if (obs_ != nullptr) {
     if (obs_->tracing()) {
@@ -216,6 +370,23 @@ void Interpreter::exec_dma(const ir::Stmt& s) {
           std::clamp<std::int64_t>(geo.cols - bc * geo.tc, 0, geo.tc);
       if (vr <= 0 || vc <= 0) continue;
       sim::Spm& spm = cg_.cluster().at(rid, cid).spm();
+      if (d.dir == ir::Direction::SpmToMem && spm.poison_tracking()) {
+        // A put drains exactly the valid columns of this CPE's tile; every
+        // float it reads must have been defined by a get, zero or GEMM.
+        for (std::int64_t j = 0; j < vc; ++j) {
+          const std::int64_t p =
+              spm.first_poisoned(spm_at + j * geo.tr, vr);
+          if (p < 0) continue;
+          std::ostringstream os;
+          os << "DMA put from buffer '" << d.spm_buf << "' reads SPM float "
+             << p << " (offset " << p - spm_base(d.spm_buf)
+             << " within the buffer) on CPE (" << rid << "," << cid
+             << "), which was never written by a DMA, zero-fill or GEMM "
+             << loop_context();
+          sanitizer_trip(&obs::SanitizerCounters::spm_poison_trips,
+                         os.str());
+        }
+      }
       const sim::MainMemory::Addr tile_base =
           geo.base + br * geo.tr * d.view.stride_r +
           bc * geo.tc * d.view.stride_c;
@@ -249,6 +420,25 @@ void Interpreter::exec_gemm(const ir::Stmt& s) {
   args.b_spm = spm_base(g.b_buf) + eval_.eval(g.b_off);
   args.c_spm = spm_base(g.c_buf) + eval_.eval(g.c_off);
   args.variant = isa::KernelVariant::from_index(g.variant);
+
+  if (cg_.config().sanitize.enabled) {
+    const prim::SpmGemmFootprint fp =
+        prim::spm_gemm_footprint(args.M, args.N, args.K, cg_.config());
+    check_overlap(args.a_spm, args.a_spm + fp.a_floats, false,
+                  "gemm read of buffer '" + g.a_buf + "'");
+    check_overlap(args.b_spm, args.b_spm + fp.b_floats, false,
+                  "gemm read of buffer '" + g.b_buf + "'");
+    check_overlap(args.c_spm, args.c_spm + fp.c_floats, true,
+                  "gemm accumulation into buffer '" + g.c_buf + "'");
+    if (mode_ == sim::ExecMode::Functional &&
+        cg_.config().sanitize.poison_on()) {
+      // The GEMM reads its whole A/B tiles (broadcast across the mesh) and
+      // accumulates into the whole C tile, so all three must be defined.
+      check_defined(args.a_spm, fp.a_floats, g.a_buf, "gemm");
+      check_defined(args.b_spm, fp.b_floats, g.b_buf, "gemm");
+      check_defined(args.c_spm, fp.c_floats, g.c_buf, "gemm");
+    }
+  }
 
   const std::uint64_t key =
       (static_cast<std::uint64_t>(args.variant.index()) << 60) ^

@@ -51,6 +51,38 @@ class Interpreter {
   void exec_zero(const ir::Stmt& s);
   std::int64_t spm_base(const std::string& buf) const;
 
+  /// Per-slot bookkeeping beyond the completion time: which buffer the
+  /// transfer fills/drains and (for the overlap sanitizer) the SPM range it
+  /// owns while in flight. `buf` survives the wait so wait-on-empty errors
+  /// can name the stream that last used the slot.
+  struct SlotInfo {
+    std::string buf;           ///< SPM buffer of the last transfer
+    std::int64_t spm_lo = 0;   ///< in-flight SPM range [lo, hi)
+    std::int64_t spm_hi = 0;
+    bool writes_spm = false;   ///< get (writes SPM) vs put (reads SPM)
+  };
+
+  /// Human-readable current loop bindings ("i=2 j=0"), for diagnostics.
+  std::string loop_context() const;
+
+  /// Record a sanitizer trip and throw SanitizerError.
+  [[noreturn]] void sanitizer_trip(std::int64_t obs::SanitizerCounters::*ctr,
+                                   const std::string& what);
+
+  /// Overlap sanitizer: trap if [lo, hi) intersects an in-flight transfer's
+  /// SPM range and either side writes.
+  void check_overlap(std::int64_t lo, std::int64_t hi, bool writes,
+                     const std::string& who);
+
+  /// Bounds sanitizer: the DMA's memory footprint must stay inside the
+  /// owning tensor's arena allocation.
+  void check_dma_bounds(const ir::Stmt& s, const DmaGeometry& geo);
+
+  /// Poison sanitizer: trap if any float of [a, a+n) (uniform across CPEs)
+  /// was never defined by a DMA, zero-fill or GEMM store.
+  void check_defined(std::int64_t a, std::int64_t n, const std::string& buf,
+                     const std::string& who);
+
   sim::CoreGroup& cg_;
   sim::ExecMode mode_;
   const isa::KernelCostDb& db_;
@@ -63,6 +95,12 @@ class Interpreter {
   // Reply slots are small integers; completion times indexed directly.
   // A negative entry means "empty".
   std::vector<double> reply_done_;
+  std::vector<SlotInfo> slot_info_;
+  // Enclosing For bindings, outermost first (diagnostics only).
+  std::vector<std::pair<std::string, std::int64_t>> loop_stack_;
+  // Arena allocation extents keyed by base address, for the DMA bounds
+  // sanitizer (snapshotted at run() start; empty when bounds are off).
+  std::unordered_map<std::int64_t, std::int64_t> alloc_floats_;
   // Hot-path memoization: gemm cost per (variant, M, N, K) and DMA cost
   // per transfer geometry.
   std::unordered_map<std::uint64_t, double> gemm_cost_memo_;

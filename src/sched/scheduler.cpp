@@ -1,9 +1,13 @@
 #include "sched/scheduler.hpp"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "check/validate_ir.hpp"
 
 namespace swatop::sched {
 
@@ -41,6 +45,10 @@ std::vector<Candidate> Scheduler::candidates(
     opt::OptOptions o = opts.opt;
     o.prefetch = opts.opt.prefetch && op.prefetch_enabled(s);
     if (!opt::optimize(prog, cfg_, o)) return std::nullopt;  // pruned
+    // A candidate that survives pruning must be well-formed: a validation
+    // failure here is a lowering or optimizer bug, not an invalid strategy,
+    // so it throws instead of silently dropping the candidate.
+    check::validate_ir_or_throw(prog, cfg_);
     return Candidate{s, std::move(prog), o.prefetch};
   };
 
@@ -62,17 +70,28 @@ std::vector<Candidate> Scheduler::candidates(
   // result is bit-identical to the serial sweep.
   std::vector<std::optional<Candidate>> slots(strategies.size());
   std::atomic<std::size_t> next{0};
+  // build() can throw (the IR validator flags lowering/optimizer bugs);
+  // an exception escaping a worker would terminate the process, so the
+  // first one is captured and rethrown on the calling thread.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   std::vector<std::thread> workers;
   workers.reserve(nthreads);
   for (std::size_t w = 0; w < nthreads; ++w) {
     workers.emplace_back([&] {
       for (std::size_t i = next.fetch_add(1); i < strategies.size();
            i = next.fetch_add(1)) {
-        slots[i] = build(strategies[i]);
+        try {
+          slots[i] = build(strategies[i]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
       }
     });
   }
   for (std::thread& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 
   for (std::optional<Candidate>& c : slots)
     if (c) out.push_back(std::move(*c));

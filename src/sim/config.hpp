@@ -11,6 +11,35 @@
 
 namespace swatop::sim {
 
+/// Simulator sanitizers: correctness instrumentation for lowered schedules.
+/// Off by default (zero overhead on the hot paths); the schedule fuzzer and
+/// the correctness tests switch them on. Each check, when it fires,
+/// increments a trip counter in the run's profile and throws
+/// swatop::SanitizerError with the offending buffer / slot / loop context.
+struct SanitizerConfig {
+  bool enabled = false;  ///< master switch: no checks run when false
+
+  /// SPM poison tracking: every SpmAlloc poisons its range; DMA writes,
+  /// zero-fills and GEMM stores define floats; reading a float never
+  /// defined traps with buffer name + offset. Functional mode only (timing
+  /// mode moves no data).
+  bool spm_poison = true;
+
+  /// DMA regions must stay inside the owning main-memory tensor (catches
+  /// schedules whose address arithmetic walks into a neighbouring tensor
+  /// -- invisible to arena bounds checks).
+  bool dma_bounds = true;
+
+  /// In-flight overlap detection: a GEMM, zero-fill or second DMA touching
+  /// an SPM range whose reply slot is still pending traps (the race the
+  /// functional interpreter's eager data movement would otherwise hide).
+  bool dma_overlap = true;
+
+  bool poison_on() const { return enabled && spm_poison; }
+  bool bounds_on() const { return enabled && dma_bounds; }
+  bool overlap_on() const { return enabled && dma_overlap; }
+};
+
 struct SimConfig {
   int mesh_rows = 8;
   int mesh_cols = 8;
@@ -40,6 +69,9 @@ struct SimConfig {
 
   /// Vector width in floats (256-bit vectors).
   int vector_width = 4;
+
+  /// Simulator sanitizers (off by default; see SanitizerConfig).
+  SanitizerConfig sanitize{};
 
   /// Pipeline latencies in cycles (P0 = float/vector arithmetic,
   /// P1 = memory / load-store).

@@ -171,6 +171,7 @@ obs::Counters CoreGroup::counters_snapshot() const {
   c.reg_comm.col_messages = bus.col_messages();
   c.reg_comm.row_bytes = bus.row_bytes();
   c.reg_comm.col_bytes = bus.col_bytes();
+  c.sanitizer = stats_.sanitizer;
   c.spm_high_water_floats = cluster_.spm_high_water();
   c.spm_capacity_floats = cluster_.spm_capacity();
   c.spm_reads = 0;

@@ -39,6 +39,9 @@ struct CgStats {
   std::int64_t dma_transfers = 0;
   std::int64_t flops = 0;  ///< useful MACs * 2 executed by GEMM primitives
   std::int64_t gemm_calls = 0;
+  /// Sanitizer trips (SimConfig::sanitize); accumulated at the throw sites
+  /// so counters_snapshot() can surface them in the profile.
+  obs::SanitizerCounters sanitizer;
 };
 
 class CoreGroup {

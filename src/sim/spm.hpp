@@ -32,6 +32,27 @@ class Spm {
   /// Zero the whole SPM (used between operator executions).
   void clear();
 
+  // -- poison tracking (SimConfig::sanitize.spm_poison) ---------------------
+  // The SPM only provides the mechanism: a per-float "defined" bitmap that
+  // write()/fill() clear. Policy -- *when* a poisoned read is an error, and
+  // with which buffer/loop diagnostics -- lives in the runtime and the GEMM
+  // primitive, which know the buffer names.
+
+  /// True when the bitmap is maintained (set from cfg.sanitize at
+  /// construction; every write path pays one branch when on).
+  bool poison_tracking() const { return !poison_.empty(); }
+
+  /// Mark [a, a+n) undefined (fresh allocation).
+  void poison(std::int64_t a, std::int64_t n);
+
+  /// Mark [a, a+n) defined without writing (bulk producers that store
+  /// through view() spans, e.g. the GEMM primitive's output tile).
+  void unpoison(std::int64_t a, std::int64_t n);
+
+  /// Lowest poisoned offset in [a, a+n), or -1 when the whole range is
+  /// defined (always -1 when tracking is off).
+  std::int64_t first_poisoned(std::int64_t a, std::int64_t n) const;
+
   /// Element accesses through read()/write()/fill() -- the functional-mode
   /// scalar access paths (bulk view() spans are not counted). Feeds the
   /// observability layer's SPM traffic counters.
@@ -45,6 +66,8 @@ class Spm {
  private:
   void check_range(std::int64_t a, std::int64_t n) const;
   std::vector<float> data_;
+  /// Per-float poison bits (1 = undefined); empty when tracking is off.
+  std::vector<std::uint8_t> poison_;
   mutable std::int64_t reads_ = 0;
   std::int64_t writes_ = 0;
 };

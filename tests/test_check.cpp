@@ -1,0 +1,310 @@
+// The correctness layer: IR validator rejections, simulator sanitizer
+// self-tests (deliberately corrupted programs must be caught by the
+// sanitizers, not by the output diff), DMA cost-model cross-checks and a
+// fixed-seed fuzz smoke.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/validate_ir.hpp"
+#include "common/check.hpp"
+#include "ops/matmul.hpp"
+#include "rt/bind.hpp"
+#include "rt/interpreter.hpp"
+#include "sim/dma.hpp"
+#include "tune/tuner.hpp"
+
+namespace swatop {
+namespace {
+
+sim::SimConfig base_cfg;
+
+sim::SimConfig sanitizing_cfg() {
+  sim::SimConfig cfg;
+  cfg.sanitize.enabled = true;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// IR validator.
+
+std::string joined(const std::vector<std::string>& errors) {
+  std::string out;
+  for (const std::string& e : errors) out += e + "\n";
+  return out;
+}
+
+TEST(ValidateIr, NullProgramIsRejected) {
+  EXPECT_FALSE(check::validate_ir(nullptr, base_cfg).empty());
+}
+
+TEST(ValidateIr, BufferUseWithoutAlloc) {
+  auto prog = ir::make_seq();
+  ir::seq_push(prog, ir::make_spm_zero("c", ir::cst(0), ir::cst(64)));
+  const auto errors = check::validate_ir(prog, base_cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(joined(errors).find("no preceding SpmAlloc"), std::string::npos)
+      << joined(errors);
+}
+
+TEST(ValidateIr, DuplicateAndNonPositiveAlloc) {
+  auto prog = ir::make_seq();
+  // make_spm_alloc itself rejects non-positive sizes, so corrupt the node
+  // after construction -- the validator must still catch hand-built IR.
+  auto bad = ir::make_spm_alloc("a", 64);
+  bad->buf_floats = 0;
+  ir::seq_push(prog, bad);
+  ir::seq_push(prog, ir::make_spm_alloc("a", 64));
+  const auto errors = check::validate_ir(prog, base_cfg);
+  const std::string all = joined(errors);
+  EXPECT_NE(all.find("duplicate SpmAlloc"), std::string::npos) << all;
+  EXPECT_NE(all.find("0 floats"), std::string::npos) << all;
+}
+
+TEST(ValidateIr, NonPositiveForExtent) {
+  auto prog = ir::make_seq();
+  ir::seq_push(prog, ir::make_for("i", ir::cst(0), ir::make_seq()));
+  const auto errors = check::validate_ir(prog, base_cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(joined(errors).find("<= 0"), std::string::npos) << joined(errors);
+}
+
+TEST(ValidateIr, WaitOnNeverIssuedSlot) {
+  auto prog = ir::make_seq();
+  ir::seq_push(prog, ir::make_dma_wait(ir::cst(3)));
+  const auto errors = check::validate_ir(prog, base_cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(joined(errors).find("no DMA in the program can issue"),
+            std::string::npos)
+      << joined(errors);
+}
+
+TEST(ValidateIr, WaitSlotOutsideReplyTable) {
+  auto prog = ir::make_seq();
+  ir::seq_push(prog, ir::make_dma_wait(ir::cst(ir::kMaxReplySlots)));
+  const auto errors = check::validate_ir(prog, base_cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(joined(errors).find("outside the"), std::string::npos)
+      << joined(errors);
+}
+
+TEST(ValidateIr, GemmWithoutBindings) {
+  auto prog = ir::make_seq();
+  ir::GemmAttrs g;
+  g.M = ir::cst(8);
+  g.N = ir::cst(8);
+  g.K = ir::cst(8);
+  ir::seq_push(prog, ir::make_gemm(g));
+  const auto errors = check::validate_ir(prog, base_cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(joined(errors).find("DMA inference never ran"),
+            std::string::npos)
+      << joined(errors);
+}
+
+TEST(ValidateIr, TunedProgramsAreClean) {
+  ops::MatmulOp op(72, 40, 24);
+  const auto cand = tune::build_candidate(op, tune::ModelTuner(base_cfg)
+                                                  .tune(op)
+                                                  .candidate.strategy,
+                                          base_cfg);
+  EXPECT_TRUE(check::validate_ir(cand.program, base_cfg).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sanitizer self-tests: corrupt a real lowered program and require the
+// *sanitizers* to catch it (SanitizerError), not the output diff.
+
+ir::StmtPtr find_first(const ir::StmtPtr& s, ir::StmtKind kind) {
+  if (s == nullptr) return nullptr;
+  if (s->kind == kind) return s;
+  for (const auto& c : s->body)
+    if (auto r = find_first(c, kind)) return r;
+  if (auto r = find_first(s->for_body, kind)) return r;
+  if (auto r = find_first(s->then_s, kind)) return r;
+  return find_first(s->else_s, kind);
+}
+
+struct CorruptionResult {
+  bool sanitizer = false;
+  bool mismatch = false;
+  std::string what;
+  obs::SanitizerCounters trips;
+};
+
+CorruptionResult run_corrupted(
+    const std::function<void(const ir::StmtPtr&)>& corrupt) {
+  const sim::SimConfig cfg = sanitizing_cfg();
+  ops::MatmulOp op(32, 32, 16);
+  dsl::Strategy strat =
+      tune::ModelTuner(cfg).tune(op).candidate.strategy;
+  auto cand = tune::build_candidate(op, strat, cfg);
+  ir::StmtPtr prog = ir::deep_copy(cand.program);
+  corrupt(prog);
+  sim::CoreGroup cg(cfg);
+  const auto bt = rt::bind_tensors(cg, op);
+  op.fill_inputs(cg, bt, strat);
+  rt::Interpreter interp(cg, sim::ExecMode::Functional);
+  CorruptionResult r;
+  try {
+    interp.run(prog, bt);
+    r.mismatch = op.check_output(cg, bt, strat) > 2e-3;
+  } catch (const SanitizerError& e) {
+    r.sanitizer = true;
+    r.what = e.what();
+  }
+  r.trips = cg.stats().sanitizer;
+  return r;
+}
+
+TEST(SanitizerSelfTest, SkippedDmaWaitIsCaughtBySanitizer) {
+  const CorruptionResult r = run_corrupted([](const ir::StmtPtr& prog) {
+    ir::StmtPtr wait = find_first(prog, ir::StmtKind::DmaWait);
+    ASSERT_NE(wait, nullptr);
+    wait->kind = ir::StmtKind::Comment;
+    wait->text = "corrupted: wait removed";
+  });
+  EXPECT_TRUE(r.sanitizer) << "skipped DmaWait escaped the sanitizers";
+  EXPECT_FALSE(r.mismatch);
+  EXPECT_GT(r.trips.total(), 0);
+}
+
+TEST(SanitizerSelfTest, OffByEightSpmOffsetIsCaughtBySanitizer) {
+  // Shift the first DmaGet's SPM offset: the gemm then reads 8 floats that
+  // the transfer no longer defines.
+  const CorruptionResult r = run_corrupted([](const ir::StmtPtr& prog) {
+    ir::StmtPtr get = find_first(prog, ir::StmtKind::DmaGet);
+    ASSERT_NE(get, nullptr);
+    get->dma.spm_off = ir::add(get->dma.spm_off, ir::cst(8));
+  });
+  EXPECT_TRUE(r.sanitizer) << "corrupted SPM offset escaped the sanitizers";
+  EXPECT_FALSE(r.mismatch);
+  EXPECT_GT(r.trips.total(), 0);
+}
+
+TEST(SanitizerSelfTest, WaitOnEmptySlotNamesContext) {
+  const sim::SimConfig cfg = sanitizing_cfg();
+  auto prog = ir::make_seq();
+  ir::seq_push(prog, ir::make_dma_wait(ir::cst(5)));
+  sim::CoreGroup cg(cfg);
+  rt::Interpreter interp(cg, sim::ExecMode::Functional);
+  try {
+    interp.run(prog, {});
+    FAIL() << "wait on empty slot did not trip";
+  } catch (const SanitizerError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("empty reply slot 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("never issued"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(cg.stats().sanitizer.reply_slot_trips, 1);
+}
+
+TEST(SanitizerSelfTest, CleanRunTripsNothing) {
+  const sim::SimConfig cfg = sanitizing_cfg();
+  ops::MatmulOp op(40, 33, 17);
+  const auto tuned = tune::ModelTuner(cfg).tune(op);
+  sim::CoreGroup cg(cfg);
+  const auto bt = rt::bind_tensors(cg, op);
+  op.fill_inputs(cg, bt, tuned.candidate.strategy);
+  rt::Interpreter interp(cg, sim::ExecMode::Functional);
+  interp.run(tuned.candidate.program, bt);
+  EXPECT_LE(op.check_output(cg, bt, tuned.candidate.strategy), 2e-3);
+  EXPECT_EQ(cg.stats().sanitizer.total(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// DmaEngine::cost period-multiplication fast path vs a brute-force
+// per-block walk over random descriptors (including unaligned tails).
+
+std::int64_t brute_force_transactions(const sim::DmaCpeDesc& d,
+                                      const sim::SimConfig& cfg) {
+  const std::int64_t txn =
+      static_cast<std::int64_t>(cfg.dram_transaction_bytes);
+  auto block_txns = [&](std::int64_t base, std::int64_t floats) {
+    const std::int64_t lo = base * 4;
+    const std::int64_t hi = (base + floats) * 4;
+    return (hi + txn - 1) / txn - lo / txn;
+  };
+  std::int64_t total = 0;
+  std::int64_t base = d.mem_base;
+  std::int64_t left = d.total;
+  while (left > 0) {
+    const std::int64_t n = std::min(left, d.block);
+    total += block_txns(base, n);
+    base += d.block + d.stride;
+    left -= n;
+  }
+  return total;
+}
+
+TEST(DmaCostRandomized, FastPathMatchesBruteForce) {
+  sim::DmaEngine engine(base_cfg);
+  std::mt19937_64 rng(12345);
+  auto draw = [&](std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng);
+  };
+  for (int i = 0; i < 2000; ++i) {
+    sim::DmaCpeDesc d;
+    d.mem_base = draw(0, 4096);
+    d.block = draw(1, 96);
+    d.stride = draw(0, 96);
+    // Bias toward unaligned tails: ~half the draws are not block-multiples.
+    d.total = draw(1, 12) * d.block + (i % 2 == 0 ? draw(0, d.block - 1) : 0);
+    const sim::DmaCost c = engine.cost(d);
+    EXPECT_EQ(c.transactions, brute_force_transactions(d, base_cfg))
+        << "base=" << d.mem_base << " block=" << d.block
+        << " stride=" << d.stride << " total=" << d.total;
+    EXPECT_EQ(c.bytes_requested, d.total * 4);
+    EXPECT_EQ(c.bytes_wasted,
+              c.transactions *
+                      static_cast<std::int64_t>(
+                          base_cfg.dram_transaction_bytes) -
+                  c.bytes_requested);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzer plumbing.
+
+TEST(FuzzSpec, RoundTrips) {
+  const auto spec = check::OpSpec::parse("matmul:72,40,24");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->kind, "matmul");
+  EXPECT_EQ(spec->to_string(), "matmul:72,40,24");
+  EXPECT_NE(check::make_op(*spec), nullptr);
+  EXPECT_FALSE(check::OpSpec::parse("matmul").has_value());
+  EXPECT_FALSE(check::OpSpec::parse("matmul:1,x").has_value());
+  // Applicability: implicit conv needs ni >= 32.
+  EXPECT_EQ(check::make_op(
+                *check::OpSpec::parse("implicit_conv:1,8,32,6,6,3,3,1")),
+            nullptr);
+}
+
+TEST(FuzzSmoke, FixedSeedHasNoFailures) {
+  check::FuzzOptions opts;
+  opts.seed = 11;
+  opts.cases = 30;
+  opts.max_dim = 48;
+  check::FuzzReport rep = check::fuzz_schedules(opts);
+  EXPECT_GE(rep.cases_run, 30);
+  for (const auto& f : rep.failures)
+    ADD_FAILURE() << "[" << f.kind << "] " << f.detail << "\n  " << f.repro;
+}
+
+TEST(FuzzReplay, KnownGoodPairPasses) {
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(32, 32, 8);
+  const auto strat = tune::ModelTuner(cfg).tune(op).candidate.strategy;
+  check::FuzzOptions opts;
+  const auto rep =
+      check::replay("matmul:32,32,8", strat.serialize(), opts);
+  EXPECT_TRUE(rep.ok()) << (rep.failures.empty()
+                                ? std::string()
+                                : rep.failures.front().detail);
+}
+
+}  // namespace
+}  // namespace swatop
