@@ -1,0 +1,63 @@
+// End-to-end network benchmark on the graph engine: VGG16 / ResNet / YOLO
+// executed whole (timing mode) with the batch split across the 4 core
+// groups. Prints a table and writes BENCH_net_e2e.json with the
+// machine-readable series (GFLOPS, ms/image, planned peak bytes) so CI can
+// track chip-level end-to-end performance, not just per-operator numbers.
+//
+// Quick mode runs batch 8; SWATOP_FULL=1 runs the paper's batch 32.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "graph/build.hpp"
+#include "graph/engine.hpp"
+
+using namespace swatop;
+
+int main() {
+  const std::int64_t batch = bench::full_scale() ? 32 : 8;
+  bench::print_title("end-to-end networks on the graph engine (4 CGs, "
+                     "batch " +
+                     std::to_string(batch) + ")");
+  bench::print_row({"network", "layers", "shapes", "GFLOPS", "eff%",
+                    "ms/image", "peak MB", "reuse%"});
+
+  std::ofstream js("BENCH_net_e2e.json");
+  js << "{\n  \"batch\": " << batch << ",\n  \"groups\": 4,\n"
+     << "  \"networks\": [\n";
+  bool first = true;
+  for (const char* net : {"vgg16", "resnet", "yolo"}) {
+    const graph::Graph g = graph::build_net(net);
+    SwatopConfig cfg;
+    graph::GraphEngine engine(cfg);
+    graph::NetOptions opts;
+    opts.groups = 4;
+    opts.mode = sim::ExecMode::TimingOnly;
+    const graph::NetRunResult r = engine.run(g, batch, opts);
+
+    const double planned_mb =
+        static_cast<double>(r.planned_peak_floats) * 4.0 / 1e6;
+    const double reuse = 100.0 * static_cast<double>(r.planned_peak_floats) /
+                         static_cast<double>(r.naive_floats);
+    bench::print_row({net, std::to_string(g.conv_count()),
+                      std::to_string(r.shapes_tuned), bench::fmt(r.gflops, 1),
+                      bench::fmt(100.0 * r.efficiency, 1),
+                      bench::fmt(r.ms_per_image, 2), bench::fmt(planned_mb, 1),
+                      bench::fmt(reuse, 0)});
+
+    if (!first) js << ",\n";
+    first = false;
+    js << "    {\"net\": \"" << net << "\", \"gflops\": "
+       << bench::fmt(r.gflops, 1) << ", \"efficiency\": "
+       << bench::fmt(r.efficiency, 4) << ", \"ms_per_image\": "
+       << bench::fmt(r.ms_per_image, 3) << ", \"cycles\": "
+       << bench::fmt(r.cycles, 0) << ", \"sync_cycles\": "
+       << bench::fmt(r.sync_cycles, 0) << ", \"planned_peak_bytes\": "
+       << r.planned_peak_floats * 4 << ", \"naive_bytes\": "
+       << r.naive_floats * 4 << ", \"shapes_tuned\": " << r.shapes_tuned
+       << ", \"tune_seconds\": " << bench::fmt(r.tune_seconds, 2) << "}";
+  }
+  js << "\n  ]\n}\n";
+  std::printf("\nwrote BENCH_net_e2e.json\n");
+  return 0;
+}

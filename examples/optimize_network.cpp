@@ -1,36 +1,28 @@
-// swATOP as an offline compiler for a whole network: tune every conv layer
-// of VGG16 / ResNet / YOLO with the best applicable method, report per-layer
-// and end-to-end numbers, and show the chip-level (4 core group) projection.
+// swATOP as a whole-network compiler: deduplicate the layer table with
+// nets::distinct(), tune each distinct shape once into the persistent
+// schedule cache, then hand the network to the graph engine, which plans
+// the activation arena and executes end-to-end on the simulated chip with
+// the batch split across core groups.
 //
-//   $ ./optimize_network [vgg16|resnet|yolo] [batch]
+//   $ ./optimize_network [vgg16|resnet|yolo] [batch] [groups]
+//
+// Re-runs are instant: both phases hit the schedule cache file.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "core/chip_parallel.hpp"
 #include "core/swatop.hpp"
+#include "graph/build.hpp"
+#include "graph/engine.hpp"
 #include "nets/nets.hpp"
 #include "ops/explicit_conv.hpp"
 #include "ops/implicit_conv.hpp"
-#include "ops/winograd.hpp"
 
 using namespace swatop;
 
-namespace {
-
-double tuned(const dsl::OperatorDef& op, const sim::SimConfig& machine) {
-  SwatopConfig c;
-  c.machine = machine;
-  c.measure_best = true;
-  return Optimizer(c).optimize(op).measured_cycles;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const sim::SimConfig cfg;
   const std::string net = argc > 1 ? argv[1] : "vgg16";
   const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 32;
+  const int groups = argc > 3 ? std::atoi(argv[3]) : 4;
 
   std::vector<nets::LayerDef> layers;
   if (net == "vgg16")
@@ -44,62 +36,71 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s at batch %lld -- per-layer best method (one core group)\n",
-              net.c_str(), static_cast<long long>(batch));
-  std::printf("%-12s%-10s%-12s%-10s\n", "layer", "method", "GFLOPS",
-              "ms/layer");
-  double total_cycles = 0.0;
-  std::int64_t total_flops = 0;
-  for (const auto& l : layers) {
-    const ops::ConvShape s = nets::to_shape(l, batch);
-    double best = -1.0;
-    const char* method = "explicit";
-    {
-      const double t =
-          tuned(ops::ExplicitConvOp(s), cfg) +
-          ops::ExplicitConvOp::pre_post_cycles(s, cfg);
-      best = t;
-    }
-    if (ops::ImplicitConvOp::applicable(s)) {
-      const double t = tuned(ops::ImplicitConvOp(s), cfg);
-      if (t < best) {
-        best = t;
-        method = "implicit";
-      }
-    }
-    if (ops::WinogradPlan::applicable(s) && s.ni % 8 == 0) {
-      const ops::WinogradPlan plan(s);
-      const double t = tuned(ops::WinogradGemmOp(s), cfg) +
-                       ops::WinogradGemmOp::pre_post_cycles(plan, cfg);
-      if (t < best) {
-        best = t;
-        method = "winograd";
-      }
-    }
-    total_cycles += best;
-    total_flops += s.flops();
-    std::printf("%-12s%-10s%-12.1f%-10.3f\n", l.name.c_str(), method,
-                static_cast<double>(s.flops()) / best * cfg.clock_ghz,
-                best / cfg.clock_ghz / 1e6);
-  }
-  std::printf("\nnetwork total: %.1f GFLOPS effective, %.2f ms per batch "
-              "(one core group)\n",
-              static_cast<double>(total_flops) / total_cycles * cfg.clock_ghz,
-              total_cycles / cfg.clock_ghz / 1e6);
+  SwatopConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.cache.path = "optimize_network.cache";
 
-  if (batch >= 4) {
-    std::printf("\nchip-level projection (batch split over 4 core groups), "
-                "implicit-conv layers only:\n");
-    double chip_gflops_example = 0.0;
-    for (const auto& l : layers) {
-      const ops::ConvShape s = nets::to_shape(l, batch);
-      if (!ops::ImplicitConvOp::applicable(s)) continue;
-      const ChipRunResult r = run_conv_data_parallel(s, 4, cfg);
-      chip_gflops_example = r.gflops;
-      std::printf("  %-12s %8.1f GFLOPS (%4.1f%% of the 3.0 TFLOPS chip)\n",
-                  l.name.c_str(), r.gflops, r.efficiency * 100.0);
+  // Phase 1: tune each *distinct* layer shape once, at the per-group
+  // sub-batch the engine will run, banking the winners in the cache --
+  // repeated layers (conv3_2 == conv3_3, ...) never re-enumerate a space.
+  const std::vector<nets::LayerDef> uniq = nets::distinct(layers);
+  // An uneven split gives some groups ceil(batch/groups) images and some
+  // floor; tune both sub-batch sizes when they differ.
+  std::vector<std::int64_t> sub_batches{batch / groups +
+                                        (batch % groups != 0 ? 1 : 0)};
+  if (batch % groups != 0 && batch / groups >= 1)
+    sub_batches.push_back(batch / groups);
+  std::printf("%s: %zu layers, %zu distinct shapes (batch %lld over %d "
+              "core groups)\n",
+              net.c_str(), layers.size(), uniq.size(),
+              static_cast<long long>(batch), groups);
+  {
+    Optimizer opt(cfg);
+    int hits = 0;
+    for (const nets::LayerDef& l : uniq) {
+      for (std::int64_t b : sub_batches) {
+        const ops::ConvShape s = nets::to_shape(l, b);
+        const bool hit =
+            ops::ImplicitConvOp::applicable(s)
+                ? opt.optimize(ops::ImplicitConvOp(s)).from_cache
+                : opt.optimize(ops::ExplicitConvOp(s)).from_cache;
+        hits += hit ? 1 : 0;
+      }
     }
-    (void)chip_gflops_example;
+    std::printf("pre-tuned %zu shapes into %s (%d cache hits)\n\n",
+                uniq.size() * sub_batches.size(), cfg.cache.path.c_str(),
+                hits);
   }
+
+  // Phase 2: whole-network execution on the engine (timing mode -- the
+  // stand-in for a hardware deployment run). Every layer's schedule comes
+  // out of the cache warmed above.
+  graph::GraphEngine engine(cfg);
+  graph::NetOptions opts;
+  opts.groups = groups;
+  opts.mode = sim::ExecMode::TimingOnly;
+  const graph::NetRunResult r = engine.run(graph::build_net(net), batch, opts);
+
+  std::printf("%-14s%-10s%-12s%-10s\n", "layer", "method", "GFLOPS",
+              "ms/layer");
+  for (const auto& l : r.layers) {
+    if (!l.conv) continue;
+    std::printf("%-14s%-10s%-12.1f%-10.3f%s\n", l.name.c_str(),
+                l.kind.c_str(), l.gflops,
+                l.cycles / engine.config().machine.clock_ghz / 1e6,
+                l.from_cache ? "(cached)" : "");
+  }
+
+  std::printf("\nschedules: %lld distinct, %lld served from cache; tuning "
+              "%.2fs\n",
+              static_cast<long long>(r.shapes_tuned),
+              static_cast<long long>(r.cache_hits), r.tune_seconds);
+  std::printf("activation arena: %.1f MB planned peak vs %.1f MB no-reuse\n",
+              static_cast<double>(r.planned_peak_floats) * 4.0 / 1e6,
+              static_cast<double>(r.naive_floats) * 4.0 / 1e6);
+  std::printf("chip (%d CGs): %.1f GFLOPS (%.1f%% of peak), %.2f ms/batch, "
+              "%.2f ms/image\n",
+              r.groups_used, r.gflops, 100.0 * r.efficiency, r.ms_per_batch,
+              r.ms_per_image);
   return 0;
 }

@@ -1,0 +1,31 @@
+// CNN graph builders over the nets/ layer tables: conv + bias + relu
+// chains with Pad nodes materializing 'same' padding and 2x2 max-pools
+// inserted wherever the table's spatial extent halves; ResNet builds real
+// bottleneck stages with a residual Add (the shortcut edge is what gives
+// the memory planner a long-lived tensor to keep alive).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "nets/nets.hpp"
+
+namespace swatop::graph {
+
+/// A plain conv(+bias+relu) chain from a layer table (VGG16 / YOLO style).
+/// The graph input is the first layer's unpadded input activation.
+Graph build_chain(const std::string& name,
+                  const std::vector<nets::LayerDef>& layers);
+
+/// ResNet-50's stride-1 bottleneck stages from nets::resnet(): per stage,
+/// one entry block (1x1 reduce, 3x3, 1x1 expand) and one identity block
+/// (1x1 'proj' reduce, 3x3, 1x1 expand, residual Add with the entry
+/// block's output), 2x2 pools standing in for the stride-2 transitions.
+Graph build_resnet();
+
+/// "vgg16" | "resnet" | "yolo" -> graph; throws swatop::CheckError on an
+/// unknown name.
+Graph build_net(const std::string& net);
+
+}  // namespace swatop::graph

@@ -1,0 +1,510 @@
+#include "graph/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "graph/reference.hpp"
+#include "obs/recorder.hpp"
+#include "ops/explicit_conv.hpp"
+#include "ops/implicit_conv.hpp"
+#include "ops/reference.hpp"
+#include "ops/winograd.hpp"
+#include "sim/chip.hpp"
+
+namespace swatop::graph {
+
+const char* conv_method_name(ConvMethod m) {
+  switch (m) {
+    case ConvMethod::Auto: return "auto";
+    case ConvMethod::Implicit: return "implicit";
+    case ConvMethod::Explicit: return "explicit";
+    case ConvMethod::Winograd: return "winograd";
+  }
+  SWATOP_UNREACHABLE("bad conv method");
+}
+
+namespace {
+
+/// The MPE (management core) runs the elementwise passes: one core with
+/// 256-bit vectors, so a handful of flops per cycle -- these passes are
+/// bandwidth-bound anyway.
+constexpr double kMpeFlopsPerCycle = 4.0;
+
+/// Resolve the per-layer convolution design. Winograd is opt-in and falls
+/// back to the Auto rule on layers it cannot run (non-3x3 kernels, input
+/// channels not a multiple of the vector width granularity).
+ConvMethod resolve_method(ConvMethod req, const ops::ConvShape& s) {
+  if (req == ConvMethod::Winograd && ops::WinogradPlan::applicable(s) &&
+      s.ni % 8 == 0)
+    return ConvMethod::Winograd;
+  if (req == ConvMethod::Implicit) {
+    SWATOP_CHECK(ops::ImplicitConvOp::applicable(s))
+        << "implicit CONV forced but not applicable to " << s.to_string()
+        << " (needs ni >= 32)";
+    return ConvMethod::Implicit;
+  }
+  if (req == ConvMethod::Explicit) return ConvMethod::Explicit;
+  return ops::ImplicitConvOp::applicable(s) ? ConvMethod::Implicit
+                                            : ConvMethod::Explicit;
+}
+
+/// One tuned convolution kernel, shared by every node/group with the same
+/// (method, shape, sub-batch). The operator definition is kept alive with
+/// the handle.
+struct TunedConv {
+  ConvMethod method = ConvMethod::Implicit;
+  std::unique_ptr<dsl::OperatorDef> op;
+  OptimizedOperator handle;
+};
+
+std::string shape_key(ConvMethod m, const ops::ConvShape& s) {
+  return std::string(conv_method_name(m)) + "|" + s.to_string();
+}
+
+/// Price an MPE-side elementwise pass: streaming DMA traffic (Eq. (1)
+/// accounting, contiguous floats) plus scalar compute on the MPE.
+void charge_mpe_pass(sim::CoreGroup& cg, std::int64_t read_floats,
+                     std::int64_t write_floats, double ops) {
+  const sim::SimConfig& cfg = cg.config();
+  const std::int64_t txn =
+      static_cast<std::int64_t>(cfg.dram_transaction_bytes);
+  sim::DmaCost c;
+  c.latency_cycles = cfg.dma_latency_cycles;
+  c.bytes_requested = (read_floats + write_floats) * 4;
+  c.transactions =
+      ceil_div(read_floats * 4, txn) + ceil_div(write_floats * 4, txn);
+  c.bytes_wasted = c.transactions * txn - c.bytes_requested;
+  if (c.bytes_wasted < 0) c.bytes_wasted = 0;
+  c.transfer_cycles =
+      static_cast<double>(c.transactions * txn) / cfg.dma_bytes_per_cycle();
+  cg.charge_dma_cost_sync(c);
+  cg.advance_compute(ops / kMpeFlopsPerCycle);
+}
+
+/// Per-core-group run state: its sub-batch, its arena plan, and its
+/// long-lived weight allocations (parameters live outside the activation
+/// arena -- a deployment keeps them resident for the network's lifetime).
+struct GroupState {
+  std::int64_t batch = 0;
+  std::int64_t batch0 = 0;  ///< first logical batch index of this group
+  MemoryPlan plan;
+  sim::MainMemory::Addr arena = 0;
+  std::unordered_map<std::string, sim::MainMemory::Addr> waddr;
+  std::unordered_map<std::string, sim::MainMemory::Addr> uaddr;  // winograd
+  sim::CgStats agg;
+};
+
+}  // namespace
+
+GraphEngine::GraphEngine(SwatopConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.cache.enabled = true;
+}
+
+NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
+                              const NetOptions& opts) {
+  SWATOP_CHECK(batch >= 1) << "GraphEngine::run batch " << batch;
+  SWATOP_CHECK(opts.groups >= 1 && opts.groups <= 4)
+      << "SW26010 has 4 core groups; asked for " << opts.groups;
+  g.validate_or_throw();
+  const bool functional = opts.mode == sim::ExecMode::Functional;
+
+  const std::vector<int> order = g.topo_order();
+  const auto shapes = g.shapes();
+  const int steps = static_cast<int>(order.size());
+
+  NetRunResult res;
+  res.batch = batch;
+  const int G = static_cast<int>(
+      std::min<std::int64_t>(opts.groups, batch));
+  res.groups_used = G;
+
+  std::vector<GroupState> gs(static_cast<std::size_t>(G));
+  {
+    std::int64_t done = 0;
+    for (int gi = 0; gi < G; ++gi) {
+      gs[gi].batch = batch / G + (gi < batch % G ? 1 : 0);
+      gs[gi].batch0 = done;
+      done += gs[gi].batch;
+    }
+  }
+
+  // --- Tune every distinct (method, shape, sub-batch) exactly once, warm
+  // through the schedule cache. ---
+  Optimizer optimizer(cfg_);
+  std::unordered_map<std::string, TunedConv> tuned;
+  const auto tune_t0 = std::chrono::steady_clock::now();
+  for (int idx : order) {
+    const Node& n = g.nodes()[static_cast<std::size_t>(idx)];
+    if (n.kind != NodeKind::Conv) continue;
+    for (const GroupState& st : gs) {
+      const ops::ConvShape s = g.conv_shape(n, st.batch);
+      const ConvMethod m = resolve_method(opts.method, s);
+      const std::string key = shape_key(m, s);
+      if (tuned.count(key)) continue;
+      TunedConv tc;
+      tc.method = m;
+      switch (m) {
+        case ConvMethod::Implicit:
+          tc.op = std::make_unique<ops::ImplicitConvOp>(s);
+          break;
+        case ConvMethod::Explicit:
+          tc.op = std::make_unique<ops::ExplicitConvOp>(s);
+          break;
+        case ConvMethod::Winograd:
+          tc.op = std::make_unique<ops::WinogradGemmOp>(s);
+          break;
+        case ConvMethod::Auto: SWATOP_UNREACHABLE("unresolved method");
+      }
+      tc.handle = optimizer.optimize(*tc.op);
+      if (tc.handle.from_cache) ++res.cache_hits;
+      ++res.shapes_tuned;
+      tuned.emplace(key, std::move(tc));
+    }
+  }
+  res.tune_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    tune_t0)
+          .count();
+
+  // --- Memory plan + per-group setup (arena, weights, input fill). ---
+  sim::Chip chip(cfg_.machine, G);
+  for (int gi = 0; gi < G; ++gi) {
+    GroupState& st = gs[static_cast<std::size_t>(gi)];
+    std::vector<Transient> tr;
+    for (int stp = 0; stp < steps; ++stp) {
+      const Node& n = g.nodes()[static_cast<std::size_t>(order[stp])];
+      if (n.kind != NodeKind::Conv) continue;
+      const ops::ConvShape s = g.conv_shape(n, st.batch);
+      const ConvMethod m = resolve_method(opts.method, s);
+      if (m == ConvMethod::Explicit) {
+        const std::int64_t K = s.ni * s.kr * s.kc;
+        const std::int64_t N = s.batch * s.ro() * s.co();
+        tr.push_back({n.name + ":dcol", K * N, stp});
+        tr.push_back({n.name + ":outmat", s.no * N, stp});
+      } else if (m == ConvMethod::Winograd) {
+        const ops::WinogradPlan p(s);
+        tr.push_back({n.name + ":V", p.T() * s.ni * p.P, stp});
+        tr.push_back({n.name + ":Mt", p.T() * s.no * p.P, stp});
+      }
+    }
+    st.plan = plan_memory(g, st.batch, tr);
+    res.planned_peak_floats += st.plan.peak_floats;
+    res.naive_floats += st.plan.naive_floats;
+
+    sim::CoreGroup& cg = chip.cg(gi);
+    if (!functional) cg.mem().set_materialize(false);
+    st.arena = cg.mem().alloc(st.plan.peak_floats, "net:arena");
+
+    for (int idx : order) {
+      const Node& n = g.nodes()[static_cast<std::size_t>(idx)];
+      if (n.kind != NodeKind::Conv) continue;
+      const ops::ConvShape s = g.conv_shape(n, st.batch);
+      const ConvMethod m = resolve_method(opts.method, s);
+      const std::int64_t Ni = s.ni, No = s.no;
+      const std::int64_t K = Ni * s.kr * s.kc;
+      if (m == ConvMethod::Explicit) {
+        st.waddr[n.name] = cg.mem().alloc(No * K, n.name + ":wmat");
+      } else {
+        st.waddr[n.name] = cg.mem().alloc(K * No, n.name + ":w");
+        if (m == ConvMethod::Winograd) {
+          const ops::WinogradPlan p(s);
+          st.uaddr[n.name] = cg.mem().alloc(p.T() * No * Ni, n.name + ":U");
+        }
+      }
+      if (!functional) continue;
+      const std::vector<float> w = make_weights(n.name, s);
+      const TunedConv& tc = tuned.at(shape_key(m, s));
+      if (m == ConvMethod::Implicit) {
+        // Written in the tuned strategy's weight layout.
+        const dsl::Strategy& str = tc.handle.candidate.strategy;
+        const bool ni_major =
+            str.has_choice("wlayout") && str.choice("wlayout") == "ni_major";
+        auto v = cg.mem().view(st.waddr.at(n.name), K * No);
+        for (std::int64_t kr = 0; kr < s.kr; ++kr)
+          for (std::int64_t kc = 0; kc < s.kc; ++kc)
+            for (std::int64_t ni = 0; ni < Ni; ++ni)
+              for (std::int64_t no = 0; no < No; ++no) {
+                const std::int64_t base = (kr * s.kc + kc) * Ni * No;
+                const std::int64_t off =
+                    ni_major ? base + no * Ni + ni : base + ni * No + no;
+                v[static_cast<std::size_t>(off)] =
+                    w[static_cast<std::size_t>(base + ni * No + no)];
+              }
+      } else if (m == ConvMethod::Explicit) {
+        // wmat: column-major No x K, from canonical [kk][no].
+        auto v = cg.mem().view(st.waddr.at(n.name), No * K);
+        for (std::int64_t kk = 0; kk < K; ++kk)
+          for (std::int64_t no = 0; no < No; ++no)
+            v[static_cast<std::size_t>(no + kk * No)] =
+                w[static_cast<std::size_t>(kk * No + no)];
+      } else {
+        cg.mem().copy_in(st.waddr.at(n.name), w);
+        ops::WinogradGemmOp::transform_filter(
+            cg, st.waddr.at(n.name), st.uaddr.at(n.name),
+            ops::WinogradPlan(s));
+      }
+    }
+
+    if (functional) {
+      for (const auto& [t, shape] : g.inputs()) {
+        auto v = cg.mem().view(st.arena + st.plan.entries.at(t).offset,
+                               shape.floats(st.batch));
+        fill_input(t, shape, st.batch, st.batch0, v.data());
+      }
+    }
+  }
+
+  std::unique_ptr<obs::Recorder> rec;
+  if (cfg_.observability.enabled)
+    rec = std::make_unique<obs::Recorder>(cfg_.observability);
+
+  // --- Execute the schedule: tensors flow through the arena, the chip
+  // timeline advances by the slowest group per step plus the NoC barrier
+  // per multi-group convolution launch. ---
+  double net_time = 0.0;
+  const bool multi = G > 1;
+  for (int stp = 0; stp < steps; ++stp) {
+    const Node& n = g.nodes()[static_cast<std::size_t>(order[stp])];
+    double step_max = 0.0;
+    std::int64_t step_flops = 0;
+    LayerReport lr;
+    lr.name = n.name;
+    lr.kind = node_kind_name(n.kind);
+    for (int gi = 0; gi < G; ++gi) {
+      sim::CoreGroup& cg = chip.cg(gi);
+      GroupState& st = gs[static_cast<std::size_t>(gi)];
+      auto addr = [&](const std::string& t) {
+        return st.arena + st.plan.entries.at(t).offset;
+      };
+      double cycles = 0.0;
+      if (n.kind == NodeKind::Conv) {
+        const ops::ConvShape s = g.conv_shape(n, st.batch);
+        const ConvMethod m = resolve_method(opts.method, s);
+        const TunedConv& tc = tuned.at(shape_key(m, s));
+        if (gi == 0) {
+          lr.conv = true;
+          lr.kind = conv_method_name(m);
+          lr.from_cache = tc.handle.from_cache;
+          lr.shape = s;
+        }
+        step_flops += s.flops();
+        const sim::MainMemory::Addr in = addr(n.inputs[0]);
+        const sim::MainMemory::Addr out = addr(n.output);
+        dsl::BoundTensors bt;
+        if (m == ConvMethod::Implicit) {
+          if (functional)
+            cg.mem().fill(out, shapes.at(n.output).floats(st.batch), 0.0f);
+          bt = {{"in", in}, {"w", st.waddr.at(n.name)}, {"out", out}};
+        } else if (m == ConvMethod::Explicit) {
+          const std::int64_t N = s.batch * s.ro() * s.co();
+          const sim::MainMemory::Addr dcol = addr(n.name + ":dcol");
+          const sim::MainMemory::Addr outmat = addr(n.name + ":outmat");
+          if (functional) {
+            ops::ExplicitConvOp::im2col(cg, in, dcol, s);
+            cg.mem().fill(outmat, s.no * N, 0.0f);
+          }
+          bt = {{"wmat", st.waddr.at(n.name)},
+                {"dcol", dcol},
+                {"outmat", outmat}};
+        } else {
+          const ops::WinogradPlan p(s);
+          const sim::MainMemory::Addr V = addr(n.name + ":V");
+          const sim::MainMemory::Addr Mt = addr(n.name + ":Mt");
+          if (functional) {
+            ops::WinogradGemmOp::transform_input(cg, in, V, p);
+            cg.mem().fill(Mt, p.T() * s.no * p.P, 0.0f);
+          }
+          bt = {{"U", st.uaddr.at(n.name)}, {"V", V}, {"Mt", Mt}};
+        }
+        // Interpreter::run resets the CG clock and statistics, so the
+        // node's cycles are cg.now() afterwards and the pre/post charges
+        // must come after the run.
+        tc.handle.run(cg, bt, opts.mode);
+        if (m == ConvMethod::Explicit) {
+          if (functional) {
+            const std::int64_t Ro = s.ro(), Co = s.co(), B = s.batch;
+            const std::int64_t No = s.no;
+            auto om = cg.mem().view(addr(n.name + ":outmat"),
+                                    No * B * Ro * Co);
+            auto ov = cg.mem().view(out, Ro * No * Co * B);
+            for (std::int64_t b = 0; b < B; ++b)
+              for (std::int64_t ro = 0; ro < Ro; ++ro)
+                for (std::int64_t co = 0; co < Co; ++co) {
+                  const std::int64_t j = (b * Ro + ro) * Co + co;
+                  for (std::int64_t no = 0; no < No; ++no)
+                    ov[static_cast<std::size_t>(((ro * No + no) * Co + co) *
+                                                    B +
+                                                b)] =
+                        om[static_cast<std::size_t>(no + j * No)];
+                }
+          }
+          ops::ExplicitConvOp::charge_pre_post(cg, s);
+        } else if (m == ConvMethod::Winograd) {
+          const ops::WinogradPlan p(s);
+          if (functional)
+            ops::WinogradGemmOp::inverse_transform(cg, addr(n.name + ":Mt"),
+                                                   out, p);
+          ops::WinogradGemmOp::charge_pre_post(cg, p);
+        }
+        cycles = cg.now();
+      } else {
+        const double t0 = cg.now();
+        const TensorShape& is = shapes.at(n.inputs[0]);
+        const TensorShape& os = shapes.at(n.output);
+        const std::int64_t b = st.batch;
+        const std::int64_t nin = is.floats(b), nout = os.floats(b);
+        switch (n.kind) {
+          case NodeKind::Bias: {
+            if (functional) {
+              auto src = cg.mem().view(addr(n.inputs[0]), nin);
+              auto dst = cg.mem().view(addr(n.output), nout);
+              std::copy(src.begin(), src.end(), dst.begin());
+              const std::vector<float> bias = make_bias(n.name, os.channels);
+              ops::reference_bias_add(dst.data(), bias.data(), os.hw,
+                                      os.channels, os.hw, b);
+            }
+            charge_mpe_pass(cg, nin, nout, static_cast<double>(nout));
+            break;
+          }
+          case NodeKind::Relu: {
+            if (functional) {
+              auto src = cg.mem().view(addr(n.inputs[0]), nin);
+              auto dst = cg.mem().view(addr(n.output), nout);
+              std::copy(src.begin(), src.end(), dst.begin());
+              ops::reference_relu(dst.data(), nout);
+            }
+            charge_mpe_pass(cg, nin, nout, static_cast<double>(nout));
+            break;
+          }
+          case NodeKind::MaxPool2x2: {
+            if (functional) {
+              auto src = cg.mem().view(addr(n.inputs[0]), nin);
+              auto dst = cg.mem().view(addr(n.output), nout);
+              ops::reference_maxpool2x2(src.data(), dst.data(), is.hw,
+                                        is.channels, is.hw, b);
+            }
+            charge_mpe_pass(cg, nin, nout, 3.0 * static_cast<double>(nout));
+            break;
+          }
+          case NodeKind::Pad: {
+            if (functional) {
+              auto src = cg.mem().view(addr(n.inputs[0]), nin);
+              auto dst = cg.mem().view(addr(n.output), nout);
+              ops::reference_pad(src.data(), dst.data(), is.hw, is.channels,
+                                 is.hw, b, n.pad);
+            }
+            charge_mpe_pass(cg, nin, nout, 0.0);
+            break;
+          }
+          case NodeKind::Add: {
+            if (functional) {
+              auto a = cg.mem().view(addr(n.inputs[0]), nin);
+              auto b2 = cg.mem().view(addr(n.inputs[1]), nin);
+              auto dst = cg.mem().view(addr(n.output), nout);
+              ops::reference_eltwise_add(a.data(), b2.data(), dst.data(),
+                                         nout);
+            }
+            charge_mpe_pass(cg, 2 * nin, nout, static_cast<double>(nout));
+            break;
+          }
+          case NodeKind::Conv: SWATOP_UNREACHABLE("handled above");
+        }
+        cycles = cg.now() - t0;
+      }
+      st.agg.add(cg.stats());
+      cg.stats() = sim::CgStats{};
+      if (rec && rec->tracing()) {
+        obs::TraceEvent ev;
+        ev.name = n.name;
+        ev.cat = n.kind == NodeKind::Conv ? obs::Category::Compute
+                                          : obs::Category::Run;
+        ev.tid = obs::Track::kNetCg0 + gi;
+        ev.ts = net_time;
+        ev.dur = cycles;
+        ev.arg_name[0] = "sub_batch";
+        ev.arg[0] = st.batch;
+        rec->trace_event(std::move(ev));
+      }
+      step_max = std::max(step_max, cycles);
+    }
+    const double sync =
+        (multi && n.kind == NodeKind::Conv) ? chip.sync_cycles() : 0.0;
+    res.sync_cycles += sync;
+    net_time += step_max + sync;
+    res.flops += step_flops;
+    lr.cycles = step_max + sync;
+    lr.flops = step_flops;
+    if (lr.cycles > 0.0 && step_flops > 0)
+      lr.gflops = static_cast<double>(step_flops) / lr.cycles *
+                  cfg_.machine.clock_ghz;
+    res.layers.push_back(std::move(lr));
+  }
+  res.cycles = net_time;
+  for (const GroupState& st : gs) res.chip_stats.add(st.agg);
+
+  if (res.cycles > 0.0)
+    res.gflops = static_cast<double>(res.flops) / res.cycles *
+                 cfg_.machine.clock_ghz;
+  res.ms_per_batch = res.cycles / (cfg_.machine.clock_ghz * 1e6);
+  res.ms_per_image = res.ms_per_batch / static_cast<double>(batch);
+  const double peak = cfg_.machine.peak_gflops() * static_cast<double>(G);
+  if (peak > 0.0) res.efficiency = res.gflops / peak;
+
+  // --- Functional check against the naive whole-net reference. ---
+  if (functional && opts.check) {
+    res.checked = true;
+    const auto ref = reference_forward(g, batch);
+    double max_rel = 0.0;
+    for (const std::string& t : g.outputs()) {
+      const TensorShape& shp = shapes.at(t);
+      const std::vector<float>& rv = ref.at(t);
+      double ref_max = 0.0;
+      for (float x : rv) ref_max = std::max(ref_max, std::fabs(double(x)));
+      double diff = 0.0;
+      for (int gi = 0; gi < G; ++gi) {
+        const GroupState& st = gs[static_cast<std::size_t>(gi)];
+        auto v = chip.cg(gi).mem().view(
+            st.arena + st.plan.entries.at(t).offset, shp.floats(st.batch));
+        const std::int64_t pos_count = shp.hw * shp.hw * shp.channels;
+        for (std::int64_t pos = 0; pos < pos_count; ++pos)
+          for (std::int64_t b = 0; b < st.batch; ++b)
+            diff = std::max(
+                diff, std::fabs(double(
+                          v[static_cast<std::size_t>(pos * st.batch + b)] -
+                          rv[static_cast<std::size_t>(pos * batch +
+                                                      st.batch0 + b)])));
+      }
+      max_rel = std::max(max_rel, diff / (ref_max + 1e-30));
+    }
+    res.max_rel_err = max_rel;
+  }
+
+  if (rec) {
+    obs::Counters& c = rec->counters();
+    c.total_cycles = res.cycles;
+    c.compute_cycles = res.chip_stats.compute_cycles;
+    c.flops = res.chip_stats.flops;
+    c.gemm_calls = res.chip_stats.gemm_calls;
+    c.dma.stall_cycles = res.chip_stats.dma_stall_cycles;
+    c.dma.queue_wait_cycles = res.chip_stats.dma_queue_wait_cycles;
+    c.dma.bytes_requested = res.chip_stats.dma_bytes_requested;
+    c.dma.bytes_wasted = res.chip_stats.dma_bytes_wasted;
+    c.dma.transactions = res.chip_stats.dma_transactions;
+    c.dma.transfers = res.chip_stats.dma_transfers;
+    c.arena_planned_bytes = res.planned_peak_floats * 4;
+    c.arena_naive_bytes = res.naive_floats * 4;
+    rec->tune().seconds = res.tune_seconds;
+    rec->tune().cache_hits = res.cache_hits;
+    rec->tune().cache_misses = res.shapes_tuned - res.cache_hits;
+    res.profile = obs::Profile::snapshot(*rec);
+  }
+  return res;
+}
+
+}  // namespace swatop::graph

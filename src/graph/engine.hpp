@@ -1,0 +1,113 @@
+// GraphEngine: run a whole network end-to-end on the simulated SW26010.
+//
+// The engine tunes every *distinct* (conv geometry, sub-batch) once --
+// through the schedule cache, so repeated layers and repeated runs never
+// re-enumerate a schedule space -- plans all inter-layer activations into
+// one best-fit arena per core group, and then executes the graph in
+// topological order with tensors actually flowing layer to layer:
+// convolutions run their tuned programs through the interpreter on the
+// arena, the elementwise passes (bias / relu / pool / pad / residual add)
+// run as priced MPE-side passes. With groups > 1 the batch is split across
+// core groups (batch is the innermost dimension of every activation
+// layout, so each group simply owns a contiguous sub-batch) and a NoC
+// barrier is charged per convolution launch -- the chip-level latency is
+// the per-step maximum over groups plus those barriers, which is what an
+// honest data-parallel deployment pays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/swatop.hpp"
+#include "graph/graph.hpp"
+#include "graph/memory_plan.hpp"
+#include "obs/profile.hpp"
+#include "ops/conv_common.hpp"
+#include "sim/core_group.hpp"
+
+namespace swatop::graph {
+
+/// Convolution design selection. Auto picks implicit GEMM whenever the
+/// layer has enough input channels to feed the K dimension (the paper's
+/// preferred method) and falls back to explicit GEMM otherwise (first
+/// layers); Winograd is opt-in and silently falls back to Auto on layers
+/// it does not apply to (non-3x3, thin channels).
+enum class ConvMethod { Auto, Implicit, Explicit, Winograd };
+
+const char* conv_method_name(ConvMethod m);
+
+struct NetOptions {
+  int groups = 1;  ///< core groups to data-parallel the batch over (1..4)
+  ConvMethod method = ConvMethod::Auto;
+  sim::ExecMode mode = sim::ExecMode::Functional;
+  /// Validate the engine's outputs against the naive whole-net host
+  /// forward pass (Functional mode only).
+  bool check = true;
+  /// Max relative error (|diff| / max|ref| per output tensor) the check
+  /// reports against; the result records the measured error either way.
+  double tolerance = 1e-4;
+};
+
+/// One graph node's share of the network run.
+struct LayerReport {
+  std::string name;
+  std::string kind;  ///< operator name (conv) or node kind (MPE passes)
+  bool conv = false;
+  bool from_cache = false;  ///< schedule served from the cache
+  ops::ConvShape shape;     ///< conv only; batch = group 0's sub-batch
+  double cycles = 0.0;      ///< slowest group's cycles, incl. NoC barrier
+  std::int64_t flops = 0;   ///< whole-batch useful flops
+  double gflops = 0.0;      ///< chip-level, for this step
+};
+
+struct NetRunResult {
+  // Chip-level end-to-end numbers.
+  double cycles = 0.0;       ///< sum over steps of the slowest group
+  double sync_cycles = 0.0;  ///< NoC barrier share of `cycles`
+  std::int64_t flops = 0;
+  double gflops = 0.0;
+  double ms_per_batch = 0.0;
+  double ms_per_image = 0.0;
+  double efficiency = 0.0;  ///< gflops / peak of the groups used
+  int groups_used = 1;
+  std::int64_t batch = 0;
+
+  // Functional check vs. the naive whole-net reference.
+  bool checked = false;
+  double max_rel_err = 0.0;
+
+  // Memory plan, summed over groups.
+  std::int64_t planned_peak_floats = 0;
+  std::int64_t naive_floats = 0;
+
+  // Tuning.
+  std::int64_t shapes_tuned = 0;  ///< distinct (method, shape) tuned
+  std::int64_t cache_hits = 0;    ///< of those, served from the cache
+  double tune_seconds = 0.0;
+
+  sim::CgStats chip_stats;  ///< summed over groups (all fields)
+  std::vector<LayerReport> layers;
+  /// Network timeline (per-layer spans on the net-cg tracks) + aggregated
+  /// counters; enabled iff SwatopConfig::observability is.
+  obs::Profile profile;
+};
+
+class GraphEngine {
+ public:
+  /// The schedule cache is forced on (in memory at minimum): layer
+  /// deduplication is the engine's contract, not an option.
+  explicit GraphEngine(SwatopConfig cfg = {});
+
+  const SwatopConfig& config() const { return cfg_; }
+
+  /// Tune, plan and execute the whole graph at a batch size. Throws
+  /// swatop::CheckError on an invalid graph or options.
+  NetRunResult run(const Graph& g, std::int64_t batch,
+                   const NetOptions& opts = {});
+
+ private:
+  SwatopConfig cfg_;
+};
+
+}  // namespace swatop::graph

@@ -1,0 +1,58 @@
+// Static memory planner for graph execution: computes every inter-layer
+// tensor's lifetime over the topological schedule and packs them into one
+// shared main-memory arena with best-fit free-block reuse -- the inter-layer
+// memory optimization swCaffe-class runtimes do above per-operator codegen.
+// The report compares the planned peak against the naive no-reuse sum (what
+// binding every tensor separately would allocate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace swatop::graph {
+
+/// A per-step scratch tensor a node needs while executing (im2col column
+/// matrices, Winograd transform buffers): live only during its step.
+struct Transient {
+  std::string name;
+  std::int64_t floats = 0;
+  int step = 0;  ///< position in the graph's topo order
+};
+
+struct PlanEntry {
+  std::int64_t offset = 0;  ///< floats from the arena base
+  std::int64_t floats = 0;  ///< unaligned logical size
+  int first = 0;            ///< step producing the tensor (-1: graph input)
+  int last = 0;             ///< last consuming step (num_steps: graph output)
+};
+
+struct MemoryPlan {
+  /// Arena placement per tensor (graph tensors + transients).
+  std::unordered_map<std::string, PlanEntry> entries;
+  /// Arena floats needed (the high-water mark of the packing).
+  std::int64_t peak_floats = 0;
+  /// No-reuse sum: every planned tensor allocated separately.
+  std::int64_t naive_floats = 0;
+  /// Block alignment in floats (one DRAM transaction).
+  std::int64_t alignment = 32;
+
+  double reuse_ratio() const {
+    return naive_floats > 0
+               ? static_cast<double>(peak_floats) /
+                     static_cast<double>(naive_floats)
+               : 1.0;
+  }
+};
+
+/// Plan the graph's tensors (inputs, every node output, the given
+/// transients) at a batch size. Graph inputs are live from before the first
+/// step; tensors nothing consumes (network outputs) stay live to the end.
+/// Throws swatop::CheckError when the graph is invalid.
+MemoryPlan plan_memory(const Graph& g, std::int64_t batch,
+                       const std::vector<Transient>& transients = {});
+
+}  // namespace swatop::graph

@@ -76,6 +76,10 @@ struct Counters {
   std::int64_t spm_capacity_floats = 0;
   std::int64_t spm_reads = 0;   ///< functional-mode SPM element reads
   std::int64_t spm_writes = 0;  ///< functional-mode SPM element writes
+  /// Graph-engine memory plan (0 unless a whole network ran): the packed
+  /// activation arena's peak versus binding every tensor separately.
+  std::int64_t arena_planned_bytes = 0;
+  std::int64_t arena_naive_bytes = 0;
   std::vector<CpeCounters> per_cpe;  ///< sized num_cpes when observed
 };
 

@@ -122,6 +122,14 @@ std::string Profile::report() const {
     line(os, "element accesses",
          fmt("%" PRId64 " reads, %" PRId64 " writes", c.spm_reads,
              c.spm_writes));
+  if (c.arena_naive_bytes > 0) {
+    os << "memory plan (activation arena)\n";
+    line(os, "planned peak",
+         fmt("%s  (%.1f%% of no-reuse %s)", mb(c.arena_planned_bytes).c_str(),
+             pct(static_cast<double>(c.arena_planned_bytes),
+                 static_cast<double>(c.arena_naive_bytes)),
+             mb(c.arena_naive_bytes).c_str()));
+  }
   if (c.sanitizer.total() > 0) {
     os << "sanitizer trips\n";
     if (c.sanitizer.spm_poison_trips > 0)

@@ -99,6 +99,12 @@ void write_chrome_trace(std::ostream& os,
   write_metadata(os, "thread_name", 0, Track::kCluster, "cluster", true);
   os << ",\n";
   write_metadata(os, "thread_name", 0, Track::kDmaEngine, "dma-engine", true);
+  for (int g = 0; g < 4; ++g) {
+    os << ",\n";
+    const std::string name = "net-cg" + std::to_string(g);
+    write_metadata(os, "thread_name", 0, Track::kNetCg0 + g, name.c_str(),
+                   true);
+  }
   os << ",\n";
   write_metadata(os, "process_name", 1, 0, "tuner (ts = wall-clock us)",
                  false);

@@ -32,6 +32,9 @@ struct Track {
   static constexpr int kCluster = 0;    ///< SPMD cluster clock
   static constexpr int kDmaEngine = 1;  ///< the shared DMA engine
   static constexpr int kTuner = 0;      ///< pid 1: tuner wall clock
+  /// Whole-network timeline, one track per core group (kNetCg0 + g): the
+  /// graph engine's per-layer spans with ts = accumulated network cycles.
+  static constexpr int kNetCg0 = 8;
 };
 
 struct TraceEvent {

@@ -53,4 +53,61 @@ void reference_conv(const float* in, const float* w, float* out,
   }
 }
 
+void reference_bias_add(float* t, const float* bias, std::int64_t rows,
+                        std::int64_t channels, std::int64_t cols,
+                        std::int64_t batch) {
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < channels; ++c) {
+      float* row = t + (r * channels + c) * cols * batch;
+      const float b = bias[c];
+      for (std::int64_t i = 0; i < cols * batch; ++i) row[i] += b;
+    }
+}
+
+void reference_relu(float* t, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    if (t[i] < 0.0f) t[i] = 0.0f;
+}
+
+void reference_maxpool2x2(const float* in, float* out, std::int64_t rows,
+                          std::int64_t channels, std::int64_t cols,
+                          std::int64_t batch) {
+  const std::int64_t ro = rows / 2, co = cols / 2;
+  auto in_at = [&](std::int64_t r, std::int64_t c, std::int64_t col,
+                   std::int64_t b) {
+    return in[((r * channels + c) * cols + col) * batch + b];
+  };
+  for (std::int64_t r = 0; r < ro; ++r)
+    for (std::int64_t c = 0; c < channels; ++c)
+      for (std::int64_t col = 0; col < co; ++col)
+        for (std::int64_t b = 0; b < batch; ++b) {
+          const float m0 = in_at(2 * r, c, 2 * col, b);
+          const float m1 = in_at(2 * r, c, 2 * col + 1, b);
+          const float m2 = in_at(2 * r + 1, c, 2 * col, b);
+          const float m3 = in_at(2 * r + 1, c, 2 * col + 1, b);
+          float m = m0 > m1 ? m0 : m1;
+          if (m2 > m) m = m2;
+          if (m3 > m) m = m3;
+          out[((r * channels + c) * co + col) * batch + b] = m;
+        }
+}
+
+void reference_eltwise_add(const float* a, const float* b, float* out,
+                           std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void reference_pad(const float* in, float* out, std::int64_t rows,
+                   std::int64_t channels, std::int64_t cols,
+                   std::int64_t batch, std::int64_t pad) {
+  const std::int64_t rp = rows + 2 * pad, cp = cols + 2 * pad;
+  for (std::int64_t i = 0; i < rp * channels * cp * batch; ++i) out[i] = 0.0f;
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < channels; ++c)
+      for (std::int64_t col = 0; col < cols; ++col)
+        for (std::int64_t b = 0; b < batch; ++b)
+          out[(((r + pad) * channels + c) * cp + (col + pad)) * batch + b] =
+              in[((r * channels + c) * cols + col) * batch + b];
+}
+
 }  // namespace swatop::ops

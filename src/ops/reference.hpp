@@ -20,4 +20,33 @@ void reference_gemm(const float* A, const float* B, float* C, std::int64_t M,
 void reference_conv(const float* in, const float* w, float* out,
                     const ConvShape& s);
 
+// Naive elementwise / pooling kernels over the canonical activation layout
+// [rows][channels][cols][batch] -- the per-layer passes a whole-network
+// forward pass needs between convolutions (graph/ reference check; also
+// available to the schedule fuzzer as ground truth).
+
+/// t[r][c][col][b] += bias[c], in place.
+void reference_bias_add(float* t, const float* bias, std::int64_t rows,
+                        std::int64_t channels, std::int64_t cols,
+                        std::int64_t batch);
+
+/// t[i] = max(t[i], 0) over n floats, in place.
+void reference_relu(float* t, std::int64_t n);
+
+/// 2x2 / stride-2 spatial max pool: in [rows][ch][cols][b] (rows and cols
+/// even) -> out [rows/2][ch][cols/2][b].
+void reference_maxpool2x2(const float* in, float* out, std::int64_t rows,
+                          std::int64_t channels, std::int64_t cols,
+                          std::int64_t batch);
+
+/// out[i] = a[i] + b[i] over n floats (residual shortcuts).
+void reference_eltwise_add(const float* a, const float* b, float* out,
+                           std::int64_t n);
+
+/// Zero-pad a border of `pad` rows/cols on each side: in [rows][ch][cols][b]
+/// -> out [rows + 2*pad][ch][cols + 2*pad][b].
+void reference_pad(const float* in, float* out, std::int64_t rows,
+                   std::int64_t channels, std::int64_t cols,
+                   std::int64_t batch, std::int64_t pad);
+
 }  // namespace swatop::ops

@@ -27,17 +27,7 @@ double Chip::elapsed() const {
 
 CgStats Chip::aggregate_stats() const {
   CgStats s;
-  for (const auto& cg : cgs_) {
-    const CgStats& g = cg->stats();
-    s.compute_cycles += g.compute_cycles;
-    s.dma_stall_cycles += g.dma_stall_cycles;
-    s.dma_bytes_requested += g.dma_bytes_requested;
-    s.dma_bytes_wasted += g.dma_bytes_wasted;
-    s.dma_transactions += g.dma_transactions;
-    s.dma_transfers += g.dma_transfers;
-    s.flops += g.flops;
-    s.gemm_calls += g.gemm_calls;
-  }
+  for (const auto& cg : cgs_) s.add(cg->stats());
   return s;
 }
 

@@ -42,6 +42,26 @@ struct CgStats {
   /// Sanitizer trips (SimConfig::sanitize); accumulated at the throw sites
   /// so counters_snapshot() can surface them in the profile.
   obs::SanitizerCounters sanitizer;
+
+  /// Accumulate another stats block (every field). Chip::aggregate_stats
+  /// and the graph engine's per-node accumulation both go through here so
+  /// a new CgStats field can't be summed in one place and dropped in the
+  /// other.
+  void add(const CgStats& o) {
+    compute_cycles += o.compute_cycles;
+    dma_stall_cycles += o.dma_stall_cycles;
+    dma_queue_wait_cycles += o.dma_queue_wait_cycles;
+    dma_bytes_requested += o.dma_bytes_requested;
+    dma_bytes_wasted += o.dma_bytes_wasted;
+    dma_transactions += o.dma_transactions;
+    dma_transfers += o.dma_transfers;
+    flops += o.flops;
+    gemm_calls += o.gemm_calls;
+    sanitizer.spm_poison_trips += o.sanitizer.spm_poison_trips;
+    sanitizer.dma_bounds_trips += o.sanitizer.dma_bounds_trips;
+    sanitizer.dma_overlap_trips += o.sanitizer.dma_overlap_trips;
+    sanitizer.reply_slot_trips += o.sanitizer.reply_slot_trips;
+  }
 };
 
 class CoreGroup {

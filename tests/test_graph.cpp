@@ -1,0 +1,397 @@
+// Graph subsystem: IR validation, network builders, the memory planner's
+// packing invariants, the naive reference kernels, and the engine running
+// tiny networks end-to-end (functional check, multi-CG splits, schedule
+// dedup / cache reuse, Winograd).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/build.hpp"
+#include "graph/engine.hpp"
+#include "graph/graph.hpp"
+#include "graph/memory_plan.hpp"
+#include "graph/reference.hpp"
+#include "ops/reference.hpp"
+
+namespace swatop::graph {
+namespace {
+
+Node node(NodeKind kind, std::string name, std::vector<std::string> inputs,
+          std::string output) {
+  Node n;
+  n.kind = kind;
+  n.name = std::move(name);
+  n.inputs = std::move(inputs);
+  n.output = std::move(output);
+  return n;
+}
+
+/// pad -> conv(3x3, 8 -> 16) -> bias -> relu -> pool on an 8x8 input, then
+/// `extra_convs` identical-shape 3x3 16->16 blocks on the pooled 4x4 map.
+/// All extents are tiny so tuning stays fast under max_candidates.
+Graph make_tiny(int extra_convs) {
+  Graph g("tiny");
+  g.add_input("in", {8, 8});
+
+  Node pad1 = node(NodeKind::Pad, "pad1", {"in"}, "t:pad1");
+  pad1.pad = 1;
+  g.add(pad1);
+  Node conv1 = node(NodeKind::Conv, "conv1", {"t:pad1"}, "t:conv1");
+  conv1.kernel = 3;
+  conv1.channels_out = 16;
+  g.add(conv1);
+  g.add(node(NodeKind::Bias, "bias1", {"t:conv1"}, "t:bias1"));
+  g.add(node(NodeKind::Relu, "relu1", {"t:bias1"}, "t:relu1"));
+  g.add(node(NodeKind::MaxPool2x2, "pool1", {"t:relu1"}, "t:pool1"));
+
+  std::string prev = "t:pool1";
+  for (int i = 0; i < extra_convs; ++i) {
+    const std::string tag = "c" + std::to_string(i + 2);
+    Node pad = node(NodeKind::Pad, "pad" + tag, {prev}, "t:pad" + tag);
+    pad.pad = 1;
+    g.add(pad);
+    Node conv = node(NodeKind::Conv, "conv" + tag, {"t:pad" + tag},
+                     "t:conv" + tag);
+    conv.kernel = 3;
+    conv.channels_out = 16;
+    g.add(conv);
+    g.add(node(NodeKind::Bias, "bias" + tag, {"t:conv" + tag}, "t:bias" + tag));
+    g.add(node(NodeKind::Relu, "relu" + tag, {"t:bias" + tag}, "t:out" + tag));
+    prev = "t:out" + tag;
+  }
+  return g;
+}
+
+SwatopConfig fast_cfg() {
+  SwatopConfig cfg;
+  cfg.max_candidates = 24;  // bound the schedule space for test speed
+  return cfg;
+}
+
+// ---------------------------------------------------------------- IR
+
+TEST(Graph, ValidTinyNetHasNoProblems) {
+  const Graph g = make_tiny(1);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.conv_count(), 2);
+  EXPECT_EQ(g.topo_order().size(), g.nodes().size());
+  const auto outs = g.outputs();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], "t:outc2");
+  const auto shapes = g.shapes();
+  EXPECT_EQ(shapes.at("t:pool1"), (TensorShape{4, 16}));
+  EXPECT_EQ(shapes.at("t:outc2"), (TensorShape{4, 16}));
+}
+
+TEST(Graph, UnknownInputTensorIsReported) {
+  Graph g;
+  g.add(node(NodeKind::Relu, "r", {"ghost"}, "out"));
+  const auto problems = g.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_THROW(g.topo_order(), CheckError);
+  EXPECT_THROW(g.validate_or_throw(), CheckError);
+}
+
+TEST(Graph, DoubleProducerIsReported) {
+  Graph g;
+  g.add_input("in", {4, 4});
+  g.add(node(NodeKind::Relu, "a", {"in"}, "t"));
+  g.add(node(NodeKind::Relu, "b", {"in"}, "t"));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Graph, CycleIsReported) {
+  Graph g;
+  g.add(node(NodeKind::Relu, "a", {"y"}, "x"));
+  g.add(node(NodeKind::Relu, "b", {"x"}, "y"));
+  EXPECT_FALSE(g.validate().empty());
+  EXPECT_THROW(g.topo_order(), CheckError);
+}
+
+TEST(Graph, AddShapeMismatchIsReported) {
+  Graph g;
+  g.add_input("a", {4, 8});
+  g.add_input("b", {4, 16});
+  g.add(node(NodeKind::Add, "sum", {"a", "b"}, "out"));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Graph, OddExtentPoolIsReported) {
+  Graph g;
+  g.add_input("in", {5, 8});
+  g.add(node(NodeKind::MaxPool2x2, "p", {"in"}, "out"));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Graph, KernelLargerThanInputIsReported) {
+  Graph g;
+  g.add_input("in", {2, 8});
+  Node c = node(NodeKind::Conv, "c", {"in"}, "out");
+  c.kernel = 3;
+  c.channels_out = 8;
+  g.add(c);
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Graph, ConvShapeAtBatch) {
+  const Graph g = make_tiny(0);
+  const Node& conv = g.nodes()[1];
+  ASSERT_EQ(conv.kind, NodeKind::Conv);
+  const ops::ConvShape s = g.conv_shape(conv, 4);
+  EXPECT_EQ(s.batch, 4);
+  EXPECT_EQ(s.ri, 10);  // 8 + 2*pad
+  EXPECT_EQ(s.ci, 10);
+  EXPECT_EQ(s.ni, 8);
+  EXPECT_EQ(s.no, 16);
+  EXPECT_EQ(s.kr, 3);
+  EXPECT_EQ(s.kc, 3);
+}
+
+// ---------------------------------------------------------------- builders
+
+TEST(Build, EvaluationNetworksValidate) {
+  for (const char* net : {"vgg16", "resnet", "yolo"}) {
+    const Graph g = build_net(net);
+    EXPECT_TRUE(g.validate().empty()) << net;
+    EXPECT_GT(g.conv_count(), 0) << net;
+    EXPECT_FALSE(g.outputs().empty()) << net;
+  }
+  EXPECT_EQ(build_net("vgg16").conv_count(), 13);
+  EXPECT_THROW(build_net("lenet"), CheckError);
+}
+
+TEST(Build, ResnetHasResidualAdds) {
+  const Graph g = build_net("resnet");
+  int adds = 0;
+  for (const Node& n : g.nodes())
+    if (n.kind == NodeKind::Add) ++adds;
+  EXPECT_GT(adds, 0);
+}
+
+// ---------------------------------------------------------------- planner
+
+/// Any two tensors whose lifetimes intersect must not overlap in the arena.
+void expect_no_live_overlap(const MemoryPlan& plan) {
+  const std::vector<std::pair<std::string, PlanEntry>> v(plan.entries.begin(),
+                                                         plan.entries.end());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t j = i + 1; j < v.size(); ++j) {
+      const PlanEntry& a = v[i].second;
+      const PlanEntry& b = v[j].second;
+      const bool live_together = a.first <= b.last && b.first <= a.last;
+      if (!live_together) continue;
+      const bool disjoint = a.offset + a.floats <= b.offset ||
+                            b.offset + b.floats <= a.offset;
+      EXPECT_TRUE(disjoint) << v[i].first << " overlaps " << v[j].first;
+    }
+  }
+}
+
+TEST(MemoryPlan, PacksWithoutLiveOverlap) {
+  for (const char* net : {"vgg16", "resnet", "yolo"}) {
+    const MemoryPlan plan = plan_memory(build_net(net), 2);
+    EXPECT_GT(plan.peak_floats, 0) << net;
+    EXPECT_LE(plan.peak_floats, plan.naive_floats) << net;
+    expect_no_live_overlap(plan);
+    for (const auto& [name, e] : plan.entries)
+      EXPECT_EQ(e.offset % plan.alignment, 0) << net << " " << name;
+  }
+}
+
+TEST(MemoryPlan, Vgg16ReusesWellUnderNaive) {
+  // The acceptance bar: a 13-conv chain's planned peak must be at most 60%
+  // of binding every inter-layer tensor separately.
+  const MemoryPlan plan = plan_memory(build_net("vgg16"), 4);
+  EXPECT_LE(plan.reuse_ratio(), 0.60);
+}
+
+TEST(MemoryPlan, TransientsArePlannedAtTheirStep) {
+  const Graph g = make_tiny(0);
+  const std::int64_t before = plan_memory(g, 1).naive_floats;
+  std::vector<Transient> tr{{"conv1:dcol", 4096, 1}};
+  const MemoryPlan plan = plan_memory(g, 1, tr);
+  ASSERT_TRUE(plan.entries.count("conv1:dcol"));
+  const PlanEntry& e = plan.entries.at("conv1:dcol");
+  EXPECT_EQ(e.first, 1);
+  EXPECT_EQ(e.last, 1);
+  EXPECT_EQ(plan.naive_floats, before + 4096);
+  expect_no_live_overlap(plan);
+}
+
+TEST(MemoryPlan, InvalidGraphThrows) {
+  Graph g;
+  g.add(node(NodeKind::Relu, "r", {"ghost"}, "out"));
+  EXPECT_THROW(plan_memory(g, 1), CheckError);
+}
+
+// ---------------------------------------------------------------- kernels
+
+TEST(RefKernels, BiasAddPerChannel) {
+  // [rows=1][ch=2][cols=2][batch=1]
+  std::vector<float> t{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> bias{10.0f, 20.0f};
+  ops::reference_bias_add(t.data(), bias.data(), 1, 2, 2, 1);
+  EXPECT_FLOAT_EQ(t[0], 11.0f);
+  EXPECT_FLOAT_EQ(t[1], 12.0f);
+  EXPECT_FLOAT_EQ(t[2], 23.0f);
+  EXPECT_FLOAT_EQ(t[3], 24.0f);
+}
+
+TEST(RefKernels, ReluClampsNegatives) {
+  std::vector<float> t{-1.0f, 0.0f, 2.5f, -0.5f};
+  ops::reference_relu(t.data(), 4);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[1], 0.0f);
+  EXPECT_FLOAT_EQ(t[2], 2.5f);
+  EXPECT_FLOAT_EQ(t[3], 0.0f);
+}
+
+TEST(RefKernels, MaxPool2x2TakesWindowMax) {
+  // [rows=2][ch=1][cols=2][batch=1]: one 2x2 window.
+  const std::vector<float> in{1.0f, 4.0f, 3.0f, 2.0f};
+  std::vector<float> out(1, -1.0f);
+  ops::reference_maxpool2x2(in.data(), out.data(), 2, 1, 2, 1);
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+}
+
+TEST(RefKernels, EltwiseAdd) {
+  const std::vector<float> a{1.0f, 2.0f};
+  const std::vector<float> b{10.0f, 20.0f};
+  std::vector<float> out(2);
+  ops::reference_eltwise_add(a.data(), b.data(), out.data(), 2);
+  EXPECT_FLOAT_EQ(out[0], 11.0f);
+  EXPECT_FLOAT_EQ(out[1], 22.0f);
+}
+
+TEST(RefKernels, PadZeroesTheBorder) {
+  // 1x1 spatial, 1 channel, batch 1, pad 1 -> 3x3 with the value centered.
+  const std::vector<float> in{7.0f};
+  std::vector<float> out(9, -1.0f);
+  ops::reference_pad(in.data(), out.data(), 1, 1, 1, 1, 1);
+  for (int i = 0; i < 9; ++i)
+    EXPECT_FLOAT_EQ(out[i], i == 4 ? 7.0f : 0.0f) << i;
+}
+
+TEST(RefData, GroupFillMatchesFullBatchSlice) {
+  // A core group filling images [2, 4) must produce bit-identical values
+  // to the corresponding slice of a whole-batch fill.
+  const TensorShape shape{4, 8};
+  const std::int64_t full = 4, sub = 2, batch0 = 2;
+  std::vector<float> whole(shape.floats(full));
+  std::vector<float> part(shape.floats(sub));
+  fill_input("in", shape, full, 0, whole.data());
+  fill_input("in", shape, sub, batch0, part.data());
+  const std::int64_t positions = shape.hw * shape.hw * shape.channels;
+  for (std::int64_t p = 0; p < positions; ++p)
+    for (std::int64_t b = 0; b < sub; ++b)
+      ASSERT_EQ(part[p * sub + b], whole[p * full + batch0 + b]);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(Engine, TinyNetMatchesReference) {
+  GraphEngine engine(fast_cfg());
+  NetOptions opts;  // functional, check on
+  const NetRunResult r = engine.run(make_tiny(1), 2, opts);
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.flops, 0);
+  EXPECT_EQ(r.groups_used, 1);
+  EXPECT_DOUBLE_EQ(r.sync_cycles, 0.0);  // single group: no NoC barriers
+  EXPECT_GT(r.planned_peak_floats, 0);
+  EXPECT_LE(r.planned_peak_floats, r.naive_floats);
+}
+
+TEST(Engine, MultiGroupUnevenSplitMatchesReference) {
+  // batch 3 over 2 groups: group 0 runs 2 images, group 1 runs 1. The
+  // whole-net check covers every image, so a wrong slice offset fails.
+  GraphEngine engine(fast_cfg());
+  NetOptions opts;
+  opts.groups = 2;
+  const NetRunResult r = engine.run(make_tiny(1), 3, opts);
+  EXPECT_EQ(r.groups_used, 2);
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+  EXPECT_GT(r.sync_cycles, 0.0);  // barriers priced per conv step
+  EXPECT_LT(r.sync_cycles, r.cycles);
+}
+
+TEST(Engine, GroupsClampToBatch) {
+  GraphEngine engine(fast_cfg());
+  NetOptions opts;
+  opts.groups = 4;
+  const NetRunResult r = engine.run(make_tiny(0), 1, opts);
+  EXPECT_EQ(r.groups_used, 1);
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+}
+
+TEST(Engine, RepeatedShapesTuneOnce) {
+  // Three convs, two distinct (method, shape, sub-batch) keys: the two
+  // identical 16->16 blocks share one tuned schedule.
+  GraphEngine engine(fast_cfg());
+  const NetRunResult r = engine.run(make_tiny(2), 1, NetOptions{});
+  EXPECT_EQ(r.layers.size(), make_tiny(2).nodes().size());
+  EXPECT_EQ(r.shapes_tuned, 2);
+  EXPECT_LT(r.shapes_tuned, build_net("vgg16").conv_count());  // vgg dedups too
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+}
+
+TEST(Engine, SecondRunHitsTheScheduleCache) {
+  const char* path = "test_graph_engine.cache";
+  std::remove(path);
+  SwatopConfig cfg = fast_cfg();
+  cfg.cache.enabled = true;
+  cfg.cache.path = path;
+  const Graph g = make_tiny(1);
+
+  GraphEngine cold(cfg);
+  const NetRunResult first = cold.run(g, 1, NetOptions{});
+  EXPECT_EQ(first.cache_hits, 0);
+
+  GraphEngine warm(cfg);
+  const NetRunResult second = warm.run(g, 1, NetOptions{});
+  EXPECT_EQ(second.shapes_tuned, first.shapes_tuned);
+  EXPECT_EQ(second.cache_hits, second.shapes_tuned);
+  // Identical schedules -> identical priced execution.
+  EXPECT_DOUBLE_EQ(second.cycles, first.cycles);
+  std::remove(path);
+}
+
+TEST(Engine, TimingOnlyMatchesFunctionalCycles) {
+  GraphEngine engine(fast_cfg());
+  NetOptions fun;
+  const NetRunResult f = engine.run(make_tiny(1), 2, fun);
+  NetOptions tim;
+  tim.mode = sim::ExecMode::TimingOnly;
+  const NetRunResult t = engine.run(make_tiny(1), 2, tim);
+  EXPECT_FALSE(t.checked);
+  EXPECT_DOUBLE_EQ(t.cycles, f.cycles);
+  EXPECT_EQ(t.flops, f.flops);
+}
+
+TEST(Engine, WinogradRunsFunctionally) {
+  // conv2's 16 input channels satisfy Winograd's ni % 8 == 0; conv1 falls
+  // back. The whole-net check still has to pass end to end.
+  GraphEngine engine(fast_cfg());
+  NetOptions opts;
+  opts.method = ConvMethod::Winograd;
+  const NetRunResult r = engine.run(make_tiny(1), 1, opts);
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+}
+
+TEST(Engine, RejectsBadOptions) {
+  GraphEngine engine(fast_cfg());
+  NetOptions opts;
+  opts.groups = 5;
+  EXPECT_THROW(engine.run(make_tiny(0), 1, opts), CheckError);
+  EXPECT_THROW(engine.run(make_tiny(0), 0, NetOptions{}), CheckError);
+}
+
+}  // namespace
+}  // namespace swatop::graph

@@ -293,6 +293,64 @@ TEST(Chip, AggregatesStats) {
   EXPECT_DOUBLE_EQ(chip.elapsed(), 0.0);
 }
 
+TEST(Chip, AggregateStatsSumsEveryField) {
+  // Every CgStats field must survive aggregation -- including the queue
+  // wait and sanitizer counters that are only set on specific paths.
+  Chip chip(SimConfig{}, 2);
+  CgStats& a = chip.cg(0).stats();
+  a.compute_cycles = 1.0;
+  a.dma_stall_cycles = 2.0;
+  a.dma_queue_wait_cycles = 3.0;
+  a.dma_bytes_requested = 4;
+  a.dma_bytes_wasted = 5;
+  a.dma_transactions = 6;
+  a.dma_transfers = 7;
+  a.flops = 8;
+  a.gemm_calls = 9;
+  a.sanitizer.spm_poison_trips = 10;
+  a.sanitizer.dma_bounds_trips = 11;
+  a.sanitizer.dma_overlap_trips = 12;
+  a.sanitizer.reply_slot_trips = 13;
+  chip.cg(1).stats() = a;  // both groups carry the same block
+
+  const CgStats s = chip.aggregate_stats();
+  EXPECT_DOUBLE_EQ(s.compute_cycles, 2.0);
+  EXPECT_DOUBLE_EQ(s.dma_stall_cycles, 4.0);
+  EXPECT_DOUBLE_EQ(s.dma_queue_wait_cycles, 6.0);
+  EXPECT_EQ(s.dma_bytes_requested, 8);
+  EXPECT_EQ(s.dma_bytes_wasted, 10);
+  EXPECT_EQ(s.dma_transactions, 12);
+  EXPECT_EQ(s.dma_transfers, 14);
+  EXPECT_EQ(s.flops, 16);
+  EXPECT_EQ(s.gemm_calls, 18);
+  EXPECT_EQ(s.sanitizer.spm_poison_trips, 20);
+  EXPECT_EQ(s.sanitizer.dma_bounds_trips, 22);
+  EXPECT_EQ(s.sanitizer.dma_overlap_trips, 24);
+  EXPECT_EQ(s.sanitizer.reply_slot_trips, 26);
+}
+
+TEST(Chip, ResetExecutionClearsStatsAndClocks) {
+  Chip chip(SimConfig{}, 3);
+  for (int i = 0; i < 3; ++i) {
+    chip.cg(i).advance_compute(10.0 * (i + 1));
+    chip.cg(i).stats().dma_queue_wait_cycles = 5.0;
+  }
+  chip.reset_execution();
+  EXPECT_DOUBLE_EQ(chip.elapsed(), 0.0);
+  const CgStats s = chip.aggregate_stats();
+  EXPECT_DOUBLE_EQ(s.compute_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(s.dma_queue_wait_cycles, 0.0);
+}
+
+TEST(Chip, ElapsedIsTheSlowestGroup) {
+  Chip chip(SimConfig{}, 4);
+  chip.cg(0).advance_compute(10.0);
+  chip.cg(1).advance_compute(250.0);
+  chip.cg(2).advance_compute(40.0);
+  chip.cg(3).advance_compute(249.0);
+  EXPECT_DOUBLE_EQ(chip.elapsed(), 250.0);
+}
+
 TEST(Chip, PeakScalesWithGroups) {
   SimConfig cfg;
   EXPECT_NEAR(Chip(cfg, 4).peak_gflops(), 4 * cfg.peak_gflops(), 1e-9);

@@ -1,0 +1,167 @@
+// End-to-end network runner: build a CNN graph, tune every distinct layer
+// once, plan the activation arena, and execute the whole network on the
+// simulated SW26010 -- functionally (validated against the naive whole-net
+// reference) or timing-only.
+//
+//   run_network vgg16 4
+//   run_network resnet 8 --groups 4 --timing-only
+//   run_network yolo 4 --method winograd --report trace.json
+//
+// Exit status: 0 on success, 1 when the functional check exceeds the
+// tolerance, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/check.hpp"
+#include "graph/build.hpp"
+#include "graph/engine.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: run_network <vgg16|resnet|yolo> <batch>\n"
+         "         [--groups N]        core groups to split the batch over "
+         "(1-4, default 1)\n"
+         "         [--method M]        auto|implicit|explicit|winograd "
+         "(default auto)\n"
+         "         [--timing-only]     price the run without moving data\n"
+         "         [--no-check]        skip the whole-net reference check\n"
+         "         [--tol X]           check tolerance (default 1e-4)\n"
+         "         [--cache FILE]      persistent schedule cache\n"
+         "         [--report FILE]     write the Chrome trace JSON\n";
+}
+
+swatop::graph::ConvMethod parse_method(const std::string& s) {
+  using swatop::graph::ConvMethod;
+  if (s == "auto") return ConvMethod::Auto;
+  if (s == "implicit") return ConvMethod::Implicit;
+  if (s == "explicit") return ConvMethod::Explicit;
+  if (s == "winograd") return ConvMethod::Winograd;
+  std::cerr << "unknown method '" << s << "'\n";
+  usage();
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string net = argv[1];
+  const std::int64_t batch = std::strtoll(argv[2], nullptr, 10);
+  if (batch < 1) {
+    std::cerr << "bad batch '" << argv[2] << "'\n";
+    usage();
+    return 2;
+  }
+
+  swatop::SwatopConfig cfg;
+  swatop::graph::NetOptions opts;
+  std::string report_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--groups") {
+      opts.groups = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (a == "--method") {
+      opts.method = parse_method(next());
+    } else if (a == "--timing-only") {
+      opts.mode = swatop::sim::ExecMode::TimingOnly;
+    } else if (a == "--no-check") {
+      opts.check = false;
+    } else if (a == "--tol") {
+      opts.tolerance = std::strtod(next(), nullptr);
+    } else if (a == "--cache") {
+      cfg.cache.enabled = true;
+      cfg.cache.path = next();
+    } else if (a == "--report") {
+      report_path = next();
+      cfg.observability.enabled = true;
+    } else {
+      std::cerr << "unknown option '" << a << "'\n";
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    const swatop::graph::Graph g = swatop::graph::build_net(net);
+    swatop::graph::GraphEngine engine(cfg);
+    const swatop::graph::NetRunResult r = engine.run(g, batch, opts);
+
+    std::printf("== %s  batch %lld  groups %d  (%s) ==\n", g.name().c_str(),
+                static_cast<long long>(batch), r.groups_used,
+                opts.mode == swatop::sim::ExecMode::Functional
+                    ? "functional"
+                    : "timing-only");
+    std::printf("%-14s %-9s %22s %12s %10s\n", "layer", "method", "shape",
+                "cycles", "GFLOPS");
+    for (const auto& l : r.layers) {
+      if (!l.conv) continue;
+      char shape[64];
+      std::snprintf(shape, sizeof(shape), "%lldx%lld ni%lld no%lld k%lld",
+                    static_cast<long long>(l.shape.ri),
+                    static_cast<long long>(l.shape.ci),
+                    static_cast<long long>(l.shape.ni),
+                    static_cast<long long>(l.shape.no),
+                    static_cast<long long>(l.shape.kr));
+      std::printf("%-14s %-9s %22s %12.0f %10.1f%s\n", l.name.c_str(),
+                  l.kind.c_str(), shape, l.cycles, l.gflops,
+                  l.from_cache ? "  (cached)" : "");
+    }
+    double mpe_cycles = 0.0;
+    for (const auto& l : r.layers)
+      if (!l.conv) mpe_cycles += l.cycles;
+    std::printf("%-14s %-9s %22s %12.0f\n", "(mpe passes)", "-", "-",
+                mpe_cycles);
+
+    std::printf("\ntuning: %lld distinct shapes (%lld cache hits), %.1fs\n",
+                static_cast<long long>(r.shapes_tuned),
+                static_cast<long long>(r.cache_hits), r.tune_seconds);
+    std::printf(
+        "memory: planned peak %.1f MB vs no-reuse %.1f MB (%.0f%%)\n",
+        static_cast<double>(r.planned_peak_floats) * 4.0 / 1e6,
+        static_cast<double>(r.naive_floats) * 4.0 / 1e6,
+        100.0 * static_cast<double>(r.planned_peak_floats) /
+            static_cast<double>(r.naive_floats > 0 ? r.naive_floats : 1));
+    std::printf(
+        "chip:   %.3e cycles (%.2e sync), %.1f GFLOPS, %.1f%% of %d-CG "
+        "peak\n",
+        r.cycles, r.sync_cycles, r.gflops, 100.0 * r.efficiency,
+        r.groups_used);
+    std::printf("        %.2f ms/batch, %.2f ms/image\n", r.ms_per_batch,
+                r.ms_per_image);
+    if (r.checked)
+      std::printf("check:  max rel err %.2e (tol %.0e)\n", r.max_rel_err,
+                  opts.tolerance);
+
+    if (!report_path.empty() && r.profile.enabled) {
+      std::ofstream os(report_path);
+      r.profile.write_chrome_trace(os);
+      std::printf("trace:  %s\n", report_path.c_str());
+    }
+
+    if (r.checked && r.max_rel_err > opts.tolerance) {
+      std::printf("FAILED: functional check exceeded tolerance\n");
+      return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+  } catch (const swatop::CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
