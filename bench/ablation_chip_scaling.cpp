@@ -14,6 +14,7 @@ using namespace swatop;
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Ablation -- data-parallel scaling over core groups");
+  bench::BenchJson bj("ablation_chip_scaling");
   std::printf("chip peak (4 CGs): %.2f TFLOPS\n",
               4.0 * cfg.peak_gflops() / 1000.0);
 
@@ -32,6 +33,12 @@ int main() {
                         std::to_string(r.groups_used),
                         bench::fmt(r.gflops, 1),
                         bench::fmt(r.efficiency * 100.0, 1) + "%"});
+      bj.add("b" + std::to_string(batch) + "/g" + std::to_string(groups),
+             {{"batch", std::to_string(batch)},
+              {"groups", std::to_string(groups)},
+              {"groups_used", std::to_string(r.groups_used)}},
+             {{"gflops", r.gflops}, {"chip_efficiency", r.efficiency}},
+             r.cycles);
     }
   }
   std::printf("\nlarge batches scale near-linearly (private memory channels "

@@ -12,6 +12,7 @@ int main() {
   const sim::SimConfig cfg;
   const sim::DmaEngine engine(cfg);
   bench::print_title("Ablation -- DMA access modes (Eq. 1)");
+  bench::BenchJson bj("ablation_dma_modes");
 
   const std::int64_t total = 16384;  // one 64 KB tile worth of floats
   struct Mode {
@@ -38,6 +39,12 @@ int main() {
     bench::print_row({m.name, bench::fmt(c.total_cycles(), 0),
                       bench::fmt(bw, 2), bench::fmt(waste, 1)},
                      18);
+    bj.add(m.name,
+           {{"mode", m.name},
+            {"block", std::to_string(m.block)},
+            {"stride", std::to_string(m.stride)}},
+           {{"effective_gbps", bw}, {"waste_pct", waste}},
+           c.total_cycles());
   }
 
   const double dma_time =

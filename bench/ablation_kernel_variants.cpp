@@ -19,6 +19,7 @@ const sim::SimConfig cfg;
 
 void print_variant_table() {
   bench::print_title("Ablation -- the 8 GEMM micro-kernel variants");
+  bench::BenchJson bj("ablation_kernel_variants");
   const auto& db = isa::kernel_cost_db(cfg);
   bench::print_row({"variant", "128^3 GF", "256x64x128 GF", "per-iter"},
                    20);
@@ -31,6 +32,11 @@ void print_variant_table() {
     bench::print_row({v.name(), bench::fmt(gf1, 1), bench::fmt(gf2, 1),
                       bench::fmt(db.per_iter_cycles(v, {4, 4}), 2)},
                      20);
+    bj.add(v.name(), {{"variant", v.name()}},
+           {{"gflops_128c", gf1},
+            {"gflops_256x64x128", gf2},
+            {"per_iter_cycles", db.per_iter_cycles(v, {4, 4})}},
+           c1);
   }
   std::printf("favourable layouts sustain 16 vmad / ~16 cycles; row-major "
               "vector operands pay scalar lane assembly on P1\n\n");

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "baseline/manual_explicit.hpp"
 #include "baseline/manual_winograd.hpp"
@@ -112,6 +114,90 @@ MethodResult run_explicit(const ops::ConvShape& s,
   r.gflops = static_cast<double>(s.flops()) / r.swatop_cycles * cfg.clock_ghz;
   r.efficiency = r.gflops / cfg.peak_gflops();
   return r;
+}
+
+namespace {
+
+std::string js_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+BenchJson::~BenchJson() {
+  if (!written_) write();
+}
+
+void BenchJson::add(const std::string& case_name, const Config& config,
+                    const Metrics& metrics, double cycles) {
+  cases_.push_back({case_name, config, metrics, cycles});
+}
+
+std::string BenchJson::json() const {
+  std::ostringstream os;
+  os << "{\"name\": \"" << js_escape(name_) << "\", \"full_scale\": "
+     << (full_scale() ? "true" : "false") << ", \"cases\": [";
+  bool first = true;
+  for (const Case& c : cases_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << js_escape(c.name) << "\", \"config\": {";
+    bool f2 = true;
+    for (const auto& [k, v] : c.config) {
+      if (!f2) os << ", ";
+      f2 = false;
+      os << '"' << js_escape(k) << "\": \"" << js_escape(v) << '"';
+    }
+    os << "}, \"metrics\": {";
+    f2 = true;
+    for (const auto& [k, v] : c.metrics) {
+      if (!f2) os << ", ";
+      f2 = false;
+      os << '"' << js_escape(k) << "\": " << v;
+    }
+    os << "}, \"cycles\": " << c.cycles << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string BenchJson::write() {
+  written_ = true;
+  std::string dir;
+  if (const char* d = std::getenv("SWATOP_BENCH_DIR")) dir = d;
+  const std::string path =
+      (dir.empty() ? std::string() : dir + "/") + "BENCH_" + name_ + ".json";
+  std::ofstream f(path);
+  if (!f) return "";
+  f << json();
+  if (!f) return "";
+  std::printf("bench json: %s\n", path.c_str());
+  return path;
+}
+
+void add_conv_case(BenchJson& bj, const std::string& net, std::int64_t batch,
+                   const std::string& layer, const ops::ConvShape& s,
+                   const MethodResult& r) {
+  BenchJson::Metrics m = {{"gflops", r.gflops},
+                          {"efficiency", r.efficiency}};
+  if (r.manual_cycles > 0.0) {
+    m.push_back({"manual_cycles", r.manual_cycles});
+    m.push_back({"speedup", r.speedup()});
+  }
+  bj.add(net + "/" + layer + "/b" + std::to_string(batch),
+         {{"net", net},
+          {"layer", layer},
+          {"batch", std::to_string(batch)},
+          {"shape", s.to_string()}},
+         m, r.swatop_cycles);
 }
 
 double geomean(const std::vector<double>& xs) {

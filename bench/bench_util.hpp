@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dsl/dsl.hpp"
@@ -53,6 +54,49 @@ MethodResult run_explicit(const ops::ConvShape& s, const sim::SimConfig& cfg);
 
 /// Geometric mean of positive values (0 if empty).
 double geomean(const std::vector<double>& xs);
+
+/// Unified machine-readable bench output: every bench binary owns one
+/// BenchJson and adds a row per case; the destructor writes
+/// `BENCH_<name>.json` into the working directory (or $SWATOP_BENCH_DIR).
+/// Schema:
+///   {"name": ..., "full_scale": ..., "cases": [
+///     {"name": ..., "config": {str: str}, "metrics": {str: num},
+///      "cycles": num}, ...]}
+/// tools/bench_compare diffs two of these files metric by metric.
+class BenchJson {
+ public:
+  using Config = std::vector<std::pair<std::string, std::string>>;
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  explicit BenchJson(std::string name);
+  ~BenchJson();  ///< best-effort write() if not already written
+
+  /// One benchmark case. `cycles` is the headline cycle count (0 when the
+  /// case has no single cycle number).
+  void add(const std::string& case_name, const Config& config,
+           const Metrics& metrics, double cycles);
+
+  std::string json() const;
+  /// Write BENCH_<name>.json; returns the path ("" on failure).
+  std::string write();
+
+ private:
+  struct Case {
+    std::string name;
+    Config config;
+    Metrics metrics;
+    double cycles = 0.0;
+  };
+  std::string name_;
+  std::vector<Case> cases_;
+  bool written_ = false;
+};
+
+/// Shared row shape for the three conv-method benches (figs 5-7): one case
+/// per (net, layer, batch) with the swATOP/manual cycle numbers.
+void add_conv_case(BenchJson& bj, const std::string& net, std::int64_t batch,
+                   const std::string& layer, const ops::ConvShape& s,
+                   const MethodResult& r);
 
 /// Simple fixed-width table printing.
 void print_title(const std::string& title);

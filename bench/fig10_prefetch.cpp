@@ -12,6 +12,7 @@ using namespace swatop;
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Fig. 10 -- auto-prefetch (double buffering) ablation");
+  bench::BenchJson bj("fig10_prefetch");
 
   // Eight configurations, as in the paper.
   struct P {
@@ -50,6 +51,15 @@ int main() {
     bench::print_row({std::to_string(p.ni), std::to_string(p.no),
                       std::to_string(p.ro), bench::fmt(t_base, 0),
                       bench::fmt(t_pf, 0), std::string(gain_cell)});
+    bj.add("ni" + std::to_string(p.ni) + "/no" + std::to_string(p.no) +
+               "/ro" + std::to_string(p.ro),
+           {{"ni", std::to_string(p.ni)},
+            {"no", std::to_string(p.no)},
+            {"ro", std::to_string(p.ro)}},
+           {{"no_prefetch_cycles", t_base},
+            {"prefetch_cycles", t_pf},
+            {"gain", gain}},
+           t_pf);
   }
   std::printf("\naverage improvement from auto-prefetching: +%.1f%% "
               "(paper: +65.4%%)\n",

@@ -17,6 +17,7 @@ int main() {
   const sim::SimConfig cfg;
   bench::print_title("Fig. 11 -- lightweight vs traditional zero-padding");
 
+  bench::BenchJson bj("fig11_padding");
   const baseline::XMathGemm xmath(cfg);
   std::vector<double> trad_over, light_over;
   bench::print_row({"M", "N", "K", "traditional", "lightweight"});
@@ -43,6 +44,13 @@ int main() {
     bench::print_row({std::to_string(g.m), std::to_string(g.n),
                       std::to_string(g.k), std::string(trad_cell),
                       std::string(light_cell)});
+    bj.add("m" + std::to_string(g.m) + "/n" + std::to_string(g.n) + "/k" +
+               std::to_string(g.k),
+           {{"m", std::to_string(g.m)},
+            {"n", std::to_string(g.n)},
+            {"k", std::to_string(g.k)}},
+           {{"traditional_overhead", ot}, {"lightweight_overhead", ol}},
+           light);
   }
   if (!trad_over.empty()) {
     double st = 0, sl = 0;

@@ -13,6 +13,7 @@ using namespace swatop;
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Fig. 5 -- Implicit CONV: swATOP vs swDNN");
+  bench::BenchJson bj("fig5_implicit_conv");
 
   const std::vector<std::pair<std::string, std::vector<nets::LayerDef>>>
       networks = {{"VGG16", nets::vgg16()},
@@ -45,6 +46,7 @@ int main() {
              r.manual_cycles > 0 ? bench::fmt(r.speedup()) + "x"
                                  : std::string("n/a")});
         if (r.manual_cycles > 0) speedups.push_back(r.speedup());
+        bench::add_conv_case(bj, net, b, l.name, s, r);
       }
       if (!speedups.empty())
         std::printf("average speedup over swDNN: %.2fx (paper: 1.44/1.32 "

@@ -12,6 +12,7 @@ using namespace swatop;
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Fig. 6 -- Winograd CONV: swATOP vs manual (xMath)");
+  bench::BenchJson bj("fig6_winograd_conv");
 
   const std::vector<std::pair<std::string, std::vector<nets::LayerDef>>>
       networks = {{"VGG16", nets::vgg16()},
@@ -40,6 +41,7 @@ int main() {
                           bench::fmt(manual_gf, 1),
                           bench::fmt(r.speedup()) + "x"});
         speedups.push_back(r.speedup());
+        bench::add_conv_case(bj, net, b, l.name, s, r);
       }
       if (!speedups.empty())
         std::printf("average speedup over manual Winograd: %.2fx "

@@ -11,6 +11,7 @@ using namespace swatop;
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Fig. 7 -- Explicit CONV: swATOP vs manual (xMath)");
+  bench::BenchJson bj("fig7_explicit_conv");
 
   const std::vector<std::pair<std::string, std::vector<nets::LayerDef>>>
       networks = {{"VGG16", nets::vgg16()},
@@ -39,6 +40,7 @@ int main() {
                           bench::fmt(manual_gf, 1),
                           bench::fmt(r.speedup()) + "x"});
         speedups.push_back(r.speedup());
+        bench::add_conv_case(bj, net, b, l.name, s, r);
         (r.speedup() >= 1.0 ? faster : slower) += 1;
         if (r.speedup() > best_speedup) best_speedup = r.speedup();
       }

@@ -18,6 +18,17 @@ struct Agg {
     gflops.push_back(r.gflops);
     eff.push_back(r.efficiency);
   }
+  void add_case(bench::BenchJson& bj, const char* name,
+                std::int64_t batch) const {
+    if (gflops.empty()) return;
+    bj.add(std::string(name) + "/b" + std::to_string(batch),
+           {{"method", name}, {"batch", std::to_string(batch)}},
+           {{"avg_gflops", bench::geomean(gflops)},
+            {"avg_efficiency", bench::geomean(eff)},
+            {"best_gflops", *std::max_element(gflops.begin(), gflops.end())},
+            {"worst_gflops", *std::min_element(gflops.begin(), gflops.end())}},
+           0.0);
+  }
   void report(const char* name) const {
     if (gflops.empty()) return;
     std::printf("%-10s avg %7.1f GFLOPS (%5.1f%% of peak)   best %7.1f "
@@ -36,6 +47,7 @@ struct Agg {
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Fig. 8 -- throughput/efficiency of the 3 CONV methods");
+  bench::BenchJson bj("fig8_efficiency");
   std::printf("peak (one core group): %.1f GFLOPS\n", cfg.peak_gflops());
 
   const std::vector<std::int64_t> batches =
@@ -54,6 +66,9 @@ int main() {
     implicit_a.report("Implicit");
     winograd_a.report("Winograd");
     explicit_a.report("Explicit");
+    implicit_a.add_case(bj, "Implicit", b);
+    winograd_a.add_case(bj, "Winograd", b);
+    explicit_a.add_case(bj, "Explicit", b);
   }
   std::printf("\npaper: Implicit ~70%% efficiency; Winograd best near 120%%; "
               "Explicit lowest (pre/post passes dominate)\n");

@@ -14,6 +14,7 @@ int main() {
   const sim::SimConfig cfg;
   bench::print_title("Fig. 9 -- model-based pick vs brute-force best");
 
+  bench::BenchJson bj("fig9_model_accuracy");
   const std::int64_t batch = 32;
   std::vector<double> ratios, ratios_topk;
   bench::print_row({"Ni", "No", "Ro", "candidates", "best/picked",
@@ -40,6 +41,16 @@ int main() {
                       std::to_string(s.ro()),
                       std::to_string(best.best.stats.valid_candidates),
                       bench::fmt(ratio, 3), bench::fmt(ratio8, 3)});
+    bj.add("ni" + std::to_string(s.ni) + "/no" + std::to_string(s.no) +
+               "/ro" + std::to_string(s.ro()),
+           {{"ni", std::to_string(s.ni)},
+            {"no", std::to_string(s.no)},
+            {"ro", std::to_string(s.ro())}},
+           {{"retained", ratio},
+            {"retained_top8", ratio8},
+            {"candidates",
+             static_cast<double>(best.best.stats.valid_candidates)}},
+           picked_measured);
   }
   const double avg = bench::geomean(ratios);
   const double worst = *std::min_element(ratios.begin(), ratios.end());

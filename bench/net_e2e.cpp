@@ -1,12 +1,12 @@
 // End-to-end network benchmark on the graph engine: VGG16 / ResNet / YOLO
 // executed whole (timing mode) with the batch split across the 4 core
-// groups. Prints a table and writes BENCH_net_e2e.json with the
-// machine-readable series (GFLOPS, ms/image, planned peak bytes) so CI can
-// track chip-level end-to-end performance, not just per-operator numbers.
+// groups. Prints a table and writes BENCH_net_e2e.json (shared bench_util
+// emitter) with the machine-readable series (GFLOPS, ms/image, planned peak
+// bytes) so CI can track chip-level end-to-end performance, not just
+// per-operator numbers.
 //
 // Quick mode runs batch 8; SWATOP_FULL=1 runs the paper's batch 32.
 #include <cstdio>
-#include <fstream>
 
 #include "bench_util.hpp"
 #include "graph/build.hpp"
@@ -19,13 +19,10 @@ int main() {
   bench::print_title("end-to-end networks on the graph engine (4 CGs, "
                      "batch " +
                      std::to_string(batch) + ")");
+  bench::BenchJson bj("net_e2e");
   bench::print_row({"network", "layers", "shapes", "GFLOPS", "eff%",
                     "ms/image", "peak MB", "reuse%"});
 
-  std::ofstream js("BENCH_net_e2e.json");
-  js << "{\n  \"batch\": " << batch << ",\n  \"groups\": 4,\n"
-     << "  \"networks\": [\n";
-  bool first = true;
   for (const char* net : {"vgg16", "resnet", "yolo"}) {
     const graph::Graph g = graph::build_net(net);
     SwatopConfig cfg;
@@ -45,19 +42,20 @@ int main() {
                       bench::fmt(r.ms_per_image, 2), bench::fmt(planned_mb, 1),
                       bench::fmt(reuse, 0)});
 
-    if (!first) js << ",\n";
-    first = false;
-    js << "    {\"net\": \"" << net << "\", \"gflops\": "
-       << bench::fmt(r.gflops, 1) << ", \"efficiency\": "
-       << bench::fmt(r.efficiency, 4) << ", \"ms_per_image\": "
-       << bench::fmt(r.ms_per_image, 3) << ", \"cycles\": "
-       << bench::fmt(r.cycles, 0) << ", \"sync_cycles\": "
-       << bench::fmt(r.sync_cycles, 0) << ", \"planned_peak_bytes\": "
-       << r.planned_peak_floats * 4 << ", \"naive_bytes\": "
-       << r.naive_floats * 4 << ", \"shapes_tuned\": " << r.shapes_tuned
-       << ", \"tune_seconds\": " << bench::fmt(r.tune_seconds, 2) << "}";
+    bj.add(net,
+           {{"net", net},
+            {"batch", std::to_string(batch)},
+            {"groups", "4"}},
+           {{"gflops", r.gflops},
+            {"efficiency", r.efficiency},
+            {"ms_per_image", r.ms_per_image},
+            {"sync_cycles", r.sync_cycles},
+            {"planned_peak_bytes",
+             static_cast<double>(r.planned_peak_floats) * 4.0},
+            {"naive_bytes", static_cast<double>(r.naive_floats) * 4.0},
+            {"shapes_tuned", static_cast<double>(r.shapes_tuned)},
+            {"tune_seconds", r.tune_seconds}},
+           r.cycles);
   }
-  js << "\n  ]\n}\n";
-  std::printf("\nwrote BENCH_net_e2e.json\n");
   return 0;
 }

@@ -31,6 +31,18 @@ void account(Tally& t, const bench::MethodResult& r) {
   }
 }
 
+void add_case(bench::BenchJson& bj, const char* method, std::int64_t batch,
+              const Tally& t) {
+  bj.add(std::string(method) + "/b" + std::to_string(batch),
+         {{"method", method}, {"batch", std::to_string(batch)}},
+         {{"faster", static_cast<double>(t.faster)},
+          {"slower", static_cast<double>(t.slower)},
+          {"no_manual", static_cast<double>(t.no_manual)},
+          {"avg_gain", t.up.empty() ? 0.0 : bench::geomean(t.up) - 1.0},
+          {"avg_loss", t.down.empty() ? 0.0 : bench::geomean(t.down) - 1.0}},
+         0.0);
+}
+
 void report(const char* method, std::int64_t batch, const Tally& t) {
   std::printf("%-10s batch=%-4lld faster: %3d (avg +%5.1f%%)   slower: %3d "
               "(avg %5.1f%%)   no-manual: %d\n",
@@ -49,6 +61,7 @@ int main() {
   const sim::SimConfig cfg;
   bench::print_title(
       "Table 1 -- Listing 1 sweep: swATOP vs best manual, 3 methods");
+  bench::BenchJson bj("tab1_sweep");
 
   const std::vector<std::int64_t> batches =
       bench::full_scale() ? std::vector<std::int64_t>{1, 32, 128}
@@ -68,6 +81,9 @@ int main() {
     report("Implicit", b, implicit_t);
     report("Winograd", b, winograd_t);
     report("Explicit", b, explicit_t);
+    add_case(bj, "Implicit", b, implicit_t);
+    add_case(bj, "Winograd", b, winograd_t);
+    add_case(bj, "Explicit", b, explicit_t);
   }
   std::printf("\npaper: Implicit/Winograd faster in 100%% of cases, "
               "Explicit in ~75%%; Winograd avg ~+300%%\n");

@@ -16,7 +16,7 @@ struct Tally {
 };
 
 void sweep(const std::vector<bench::GemmShape>& shapes, const char* label,
-           const sim::SimConfig& cfg) {
+           const sim::SimConfig& cfg, bench::BenchJson& bj) {
   const baseline::XMathGemm xmath(cfg);
   Tally t;
   for (const auto& g : shapes) {
@@ -40,6 +40,12 @@ void sweep(const std::vector<bench::GemmShape>& shapes, const char* label,
               t.down.empty() ? 0.0 : (bench::geomean(t.down) - 1.0) * 100.0,
               shapes.size());
   std::fflush(stdout);
+  bj.add(label, {{"regime", label}},
+         {{"faster", static_cast<double>(t.faster)},
+          {"slower", static_cast<double>(t.slower)},
+          {"avg_gain", t.up.empty() ? 0.0 : bench::geomean(t.up) - 1.0},
+          {"avg_loss", t.down.empty() ? 0.0 : bench::geomean(t.down) - 1.0}},
+         0.0);
 }
 
 }  // namespace
@@ -47,8 +53,9 @@ void sweep(const std::vector<bench::GemmShape>& shapes, const char* label,
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Table 2 -- GEMM: swATOP vs xMath (Listing 2)");
-  sweep(bench::listing2_aligned(), "Aligned", cfg);
-  sweep(bench::listing2_unaligned(), "Unaligned", cfg);
+  bench::BenchJson bj("tab2_gemm");
+  sweep(bench::listing2_aligned(), "Aligned", cfg, bj);
+  sweep(bench::listing2_unaligned(), "Unaligned", cfg, bj);
   std::printf("\npaper: aligned +31.6%% avg (93 slower at -6.6%%); "
               "unaligned +49.8%% avg (9 slower at -4.3%%)\n");
   return 0;

@@ -13,6 +13,7 @@ using namespace swatop;
 int main() {
   const sim::SimConfig cfg;
   bench::print_title("Table 3 -- tuning time: black-box vs swATOP");
+  bench::BenchJson bj("tab3_tuning_time");
 
   const std::vector<std::pair<std::string, std::vector<nets::LayerDef>>>
       networks = {{"VGG16", nets::vgg16()},
@@ -50,6 +51,13 @@ int main() {
                       bench::fmt(bb_seconds, 1),
                       bench::fmt(model_seconds, 1),
                       bench::fmt(bb_seconds / model_seconds, 0) + "x"});
+    bj.add(net, {{"net", net}, {"layers", std::to_string(used)}},
+           {{"space", static_cast<double>(total_space)},
+            {"blackbox_seconds", bb_seconds},
+            {"model_seconds", model_seconds},
+            {"speedup",
+             model_seconds > 0.0 ? bb_seconds / model_seconds : 0.0}},
+           0.0);
   }
   std::printf("\npaper: 47h50m -> 6m21s (454x), 83h -> 14m (353x), "
               "60h -> 10m (365x); our black-box runs a simulator, not "

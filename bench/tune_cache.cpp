@@ -83,6 +83,14 @@ int main() {
               "mismatches, speedup %sx (target >= 10x: %s)\n",
               hits, ops.size(), mismatches, bench::fmt(speedup, 1).c_str(),
               speedup >= 10.0 ? "PASS" : "FAIL");
+  bench::BenchJson bj("tune_cache");
+  bj.add("cold", {{"pass", "cold"}, {"layers", std::to_string(ops.size())}},
+         {{"seconds", cold_seconds}, {"hits", 0.0}}, 0.0);
+  bj.add("warm", {{"pass", "warm"}, {"layers", std::to_string(ops.size())}},
+         {{"seconds", warm_seconds},
+          {"hits", static_cast<double>(hits)},
+          {"speedup", speedup}},
+         0.0);
   std::filesystem::remove(cache_path);
   return (hits == ops.size() && mismatches == 0 && speedup >= 10.0) ? 0 : 1;
 }

@@ -10,7 +10,10 @@
 
 #include "core/swatop.hpp"
 #include "nets/nets.hpp"
+#include "obs/attribution.hpp"
+#include "obs/roofline.hpp"
 #include "ops/implicit_conv.hpp"
+#include "tune/journal.hpp"
 
 int main(int argc, char** argv) {
   using namespace swatop;
@@ -25,6 +28,8 @@ int main(int argc, char** argv) {
   SwatopConfig cfg;
   cfg.observability.enabled = true;  // counters + trace
   cfg.tune_top_k = 4;  // measure the 4 model-ranked best (traced too)
+  tune::Journal journal;  // every candidate the tuner considers
+  cfg.journal = &journal;
 
   auto [tuned, r] = optimize_and_run(cfg, op, sim::ExecMode::TimingOnly);
   std::printf("picked %s: %.0f cycles measured, %.1f GFLOPS\n\n",
@@ -33,6 +38,17 @@ int main(int argc, char** argv) {
 
   // The profile snapshot rides on the run result.
   std::fputs(r.profile.report().c_str(), stdout);
+
+  // Exact cycle attribution + roofline placement from the same counters,
+  // and what the tuner's search looked like.
+  const obs::Attribution attr = obs::attribute(r.profile.counters);
+  std::printf("\n%s", obs::attribution_report(attr).c_str());
+  const obs::RooflineMachine m = {cfg.machine.peak_flops_per_cycle(),
+                                  cfg.machine.dma_bytes_per_cycle()};
+  const std::vector<obs::RooflinePoint> pts = {
+      obs::roofline_place(op.name(), r.profile.counters, m)};
+  std::printf("\n%s", obs::roofline_report(pts, m).c_str());
+  std::printf("\n%s", tune::journal_summary(journal).c_str());
 
   std::ofstream out(trace_path);
   r.profile.write_chrome_trace(out);

@@ -112,6 +112,17 @@ OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
           tune::tune_phase_span(rec, "cache hit (rebuild)", w0,
                                 rec->wall_us(), 1);
         }
+        if (cfg_.journal) {
+          tune::JournalEntry e;
+          e.op = op.name();
+          e.phase = "cache";
+          e.strategy = out.candidate.strategy.to_string();
+          e.rank = 0;
+          if (out.predicted_cycles > 0.0) e.predicted = out.predicted_cycles;
+          if (out.measured_cycles > 0.0) e.measured = out.measured_cycles;
+          e.chosen = true;
+          cfg_.journal->append(std::move(e));
+        }
         codegen::EmitOptions eopts;
         eopts.kernel_name = "swatop_" + op.name();
         for (char& c : eopts.kernel_name)
@@ -127,7 +138,8 @@ OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
   }
 
   if (cfg_.tune_top_k >= 1) {
-    tune::Tuned tuned = tuner.tune_top_k(op, cfg_.tune_top_k, sopts, rec);
+    tune::Tuned tuned =
+        tuner.tune_top_k(op, cfg_.tune_top_k, sopts, rec, cfg_.journal);
     out.measured_cycles = tuned.cycles;
     out.stats = tuned.stats;
     out.candidate = std::move(tuned.candidate);
@@ -136,13 +148,26 @@ OptimizedOperator Optimizer::optimize(const dsl::OperatorDef& op) const {
     const tune::CostModel model(cfg_.machine, tune::gemm_cost_model(cfg_.machine));
     out.predicted_cycles = model.estimate(out.candidate.program).total();
   } else {
-    tune::Tuned tuned = tuner.tune(op, sopts, rec);
+    tune::Tuned tuned = tuner.tune(op, sopts, rec, cfg_.journal);
     out.predicted_cycles = tuned.cycles;
     out.stats = tuned.stats;
     out.candidate = std::move(tuned.candidate);
-    if (cfg_.measure_best)
+    if (cfg_.measure_best) {
       out.measured_cycles =
           tune::measure_candidate(op, out.candidate, cfg_.machine);
+      // Record the pick's model-vs-simulator sample (the "model" rows
+      // above carry no measurement by construction).
+      if (cfg_.journal) {
+        tune::JournalEntry e;
+        e.op = op.name();
+        e.phase = "measure";
+        e.strategy = out.candidate.strategy.to_string();
+        e.rank = 0;
+        e.predicted = out.predicted_cycles;
+        e.measured = out.measured_cycles;
+        cfg_.journal->append(std::move(e));
+      }
+    }
   }
 
   if (cache_) {

@@ -69,6 +69,12 @@ struct SwatopConfig {
   /// tuner and every execution are profiled into RunResult::profile.
   obs::Options observability{};
 
+  /// Tuning journal: when set (caller-owned, non-owning), every candidate
+  /// the tuners consider is appended -- including cache hits, as phase
+  /// "cache" -- so one journal shared across operators/layers records the
+  /// whole search. See tune/journal.hpp.
+  tune::Journal* journal = nullptr;
+
   /// The scheduler options this configuration implies.
   sched::SchedulerOptions scheduler_options() const {
     sched::SchedulerOptions s;

@@ -276,6 +276,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     LayerReport lr;
     lr.name = n.name;
     lr.kind = node_kind_name(n.kind);
+    lr.groups = G;
     for (int gi = 0; gi < G; ++gi) {
       sim::CoreGroup& cg = chip.cg(gi);
       GroupState& st = gs[static_cast<std::size_t>(gi)];
@@ -417,6 +418,8 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
         }
         cycles = cg.now() - t0;
       }
+      lr.stats.add(cg.stats());
+      lr.group_cycles += cycles;
       st.agg.add(cg.stats());
       cg.stats() = sim::CgStats{};
       if (rec && rec->tracing()) {
@@ -439,6 +442,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     net_time += step_max + sync;
     res.flops += step_flops;
     lr.cycles = step_max + sync;
+    lr.sync_cycles = sync;
     lr.flops = step_flops;
     if (lr.cycles > 0.0 && step_flops > 0)
       lr.gflops = static_cast<double>(step_flops) / lr.cycles *
@@ -489,6 +493,9 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     obs::Counters& c = rec->counters();
     c.total_cycles = res.cycles;
     c.compute_cycles = res.chip_stats.compute_cycles;
+    c.gemm_cycles = res.chip_stats.gemm_cycles;
+    c.gemm_comm_cycles = res.chip_stats.gemm_comm_cycles;
+    c.pipe = res.chip_stats.pipe;
     c.flops = res.chip_stats.flops;
     c.gemm_calls = res.chip_stats.gemm_calls;
     c.dma.stall_cycles = res.chip_stats.dma_stall_cycles;

@@ -59,6 +59,14 @@ struct LayerReport {
   double cycles = 0.0;      ///< slowest group's cycles, incl. NoC barrier
   std::int64_t flops = 0;   ///< whole-batch useful flops
   double gflops = 0.0;      ///< chip-level, for this step
+
+  // Attribution inputs for this step (see graph/net_report.hpp): the
+  // engine-captured simulator statistics, summed over the groups that ran
+  // it, plus the clock quantities the basis needs.
+  int groups = 1;            ///< core groups this step ran on
+  double sync_cycles = 0.0;  ///< NoC barrier share of `cycles` (chip-level)
+  double group_cycles = 0.0; ///< sum over groups of busy (clocked) cycles
+  sim::CgStats stats;        ///< summed over groups, this step only
 };
 
 struct NetRunResult {

@@ -1,0 +1,55 @@
+// Network-level observability rendering: per-layer and whole-network cycle
+// attribution (obs/attribution.hpp over the engine-captured per-step
+// statistics), roofline placement of every convolution layer, and the
+// combined text/JSON report swatop_report and `run_network --full-report`
+// print.
+//
+// The attribution basis of a step is its chip-level cycles times the core
+// groups that ran it, so the per-layer attributions sum exactly to
+// NetRunResult::cycles * groups -- the invariant tests/test_obs asserts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/engine.hpp"
+#include "obs/attribution.hpp"
+#include "obs/roofline.hpp"
+#include "tune/journal.hpp"
+
+namespace swatop::graph {
+
+/// Attribution input for one layer step (basis = step cycles x groups).
+obs::AttributionInput layer_attribution_input(const LayerReport& lr);
+obs::Attribution layer_attribution(const LayerReport& lr);
+
+/// Whole-network attribution (basis = net cycles x groups used).
+obs::AttributionInput net_attribution_input(const NetRunResult& r);
+obs::Attribution net_attribution(const NetRunResult& r);
+
+/// The simulated machine's two roofs, from its configuration.
+obs::RooflineMachine roofline_machine(const sim::SimConfig& machine);
+
+/// One roofline point per convolution layer plus a final "network" total.
+/// Cycle bases are chip cycles x groups (the roofs are per core group).
+std::vector<obs::RooflinePoint> net_roofline(const NetRunResult& r,
+                                             const sim::SimConfig& machine);
+
+struct NetReportOptions {
+  bool layers = true;       ///< per-layer breakdown with attribution shares
+  bool attribution = true;  ///< whole-network attribution table
+  bool roofline = true;     ///< per-layer + network roofline table
+  /// When set, the journal summary is appended (text) / embedded (JSON).
+  const tune::Journal* journal = nullptr;
+};
+
+/// The full human-readable report.
+std::string net_report(const NetRunResult& r, const sim::SimConfig& machine,
+                       const NetReportOptions& o = {});
+
+/// The same content as one JSON object.
+std::string net_report_json(const NetRunResult& r,
+                            const sim::SimConfig& machine,
+                            const NetReportOptions& o = {});
+
+}  // namespace swatop::graph

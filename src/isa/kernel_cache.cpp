@@ -177,9 +177,9 @@ double KernelCostDb::spm_gemm_cycles(const KernelVariant& v, std::int64_t M,
   const std::int64_t m = M / R, n = N / C, k = K / R;
   const double panel = local_gemm_cycles(v, m, n, k);
   // One communication-pattern switch per k-panel (Sec. 4.6's "latency to
-  // switch register communication pattern").
-  return static_cast<double>(R) *
-         (panel + static_cast<double>(cfg_.reg_comm_latency));
+  // switch register communication pattern") -- spm_gemm_comm_cycles() is
+  // exactly that R * latency term.
+  return static_cast<double>(R) * panel + spm_gemm_comm_cycles();
 }
 
 const KernelCostDb& kernel_cost_db(const sim::SimConfig& cfg) {

@@ -39,6 +39,14 @@ class KernelCostDb {
   double spm_gemm_cycles(const KernelVariant& v, std::int64_t M,
                          std::int64_t N, std::int64_t K) const;
 
+  /// The register-communication share of spm_gemm_cycles: one
+  /// pattern-switch latency per k-panel. Kept next to the composition rule
+  /// so the attribution layer's split cannot drift from the priced total.
+  double spm_gemm_comm_cycles() const {
+    return static_cast<double>(cfg_.mesh_rows) *
+           static_cast<double>(cfg_.reg_comm_latency);
+  }
+
   /// Per-CPE P0/P1 issue and stall estimate for a local GEMM, composed
   /// from the same pipeline-simulator fits that price it (same block
   /// decomposition, same per-iteration differencing).

@@ -1,0 +1,136 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace swatop::obs {
+
+const char* attr_cat_name(AttrCat c) {
+  switch (c) {
+    case AttrCat::KernelIssue: return "kernel issue (P0/P1)";
+    case AttrCat::KernelRawStall: return "kernel RAW stalls";
+    case AttrCat::RegComm: return "reg-comm switches";
+    case AttrCat::OtherCompute: return "other compute";
+    case AttrCat::DmaQueueWait: return "dma queue wait";
+    case AttrCat::DmaWait: return "dma wait";
+    case AttrCat::Barrier: return "noc barrier";
+    case AttrCat::Imbalance: return "group imbalance";
+    case AttrCat::Residual: return "residual";
+    case AttrCat::kCount: break;
+  }
+  return "?";
+}
+
+double Attribution::sum() const {
+  double s = 0.0;
+  for (double c : cycles) s += c;
+  return s;
+}
+
+bool Attribution::balanced(double rel_tol) const {
+  const double tol = std::max(1.0, basis) * rel_tol;
+  if (std::fabs(sum() - basis) > tol) return false;
+  for (double c : cycles)
+    if (c < -tol) return false;
+  return true;
+}
+
+Attribution attribute(const AttributionInput& in) {
+  auto clamp0 = [](double x) { return x > 0.0 ? x : 0.0; };
+  Attribution a;
+  a.elapsed = in.elapsed;
+  a.groups = in.groups > 0 ? in.groups : 1;
+  a.basis = in.elapsed * static_cast<double>(a.groups);
+
+  // DMA blocking: the share the engine queue delayed is felt as extra wait
+  // time, so it is carved out of the stall, never double counted.
+  const double queue =
+      std::min(clamp0(in.dma_queue_wait_cycles), clamp0(in.dma_stall_cycles));
+  const double wait = clamp0(in.dma_stall_cycles) - queue;
+
+  // Kernel time: comm switches and RAW stalls are sub-shares of the priced
+  // kernel cycles; whatever remains is issue time on the two pipes.
+  const double gemm = clamp0(in.gemm_cycles);
+  const double comm = std::min(clamp0(in.gemm_comm_cycles), gemm);
+  const double raw = std::min(clamp0(in.raw_stall_cycles), gemm - comm);
+  const double issue = gemm - comm - raw;
+  const double other = clamp0(in.compute_cycles - gemm);
+
+  const double barrier = clamp0(in.barrier_cycles);
+  // Idle groups: chip time the span occupied on every group minus the
+  // cycles the groups actually clocked (and the barrier, accounted above).
+  const double imbalance = clamp0(a.basis - barrier - in.group_cycles);
+
+  a.cycles[static_cast<int>(AttrCat::KernelIssue)] = issue;
+  a.cycles[static_cast<int>(AttrCat::KernelRawStall)] = raw;
+  a.cycles[static_cast<int>(AttrCat::RegComm)] = comm;
+  a.cycles[static_cast<int>(AttrCat::OtherCompute)] = other;
+  a.cycles[static_cast<int>(AttrCat::DmaQueueWait)] = queue;
+  a.cycles[static_cast<int>(AttrCat::DmaWait)] = wait;
+  a.cycles[static_cast<int>(AttrCat::Barrier)] = barrier;
+  a.cycles[static_cast<int>(AttrCat::Imbalance)] = imbalance;
+  // The exact remainder. Near zero when every clock-advance site books into
+  // a counter above; anything else is wiring drift and shows up here.
+  double attributed = 0.0;
+  for (int i = 0; i < static_cast<int>(AttrCat::Residual); ++i)
+    attributed += a.cycles[static_cast<std::size_t>(i)];
+  a.cycles[static_cast<int>(AttrCat::Residual)] = a.basis - attributed;
+  return a;
+}
+
+AttributionInput attribution_input(const Counters& c) {
+  AttributionInput in;
+  in.elapsed = c.total_cycles;
+  in.groups = 1;
+  in.group_cycles = c.total_cycles;
+  in.compute_cycles = c.compute_cycles;
+  in.dma_stall_cycles = c.dma.stall_cycles;
+  in.dma_queue_wait_cycles = c.dma.queue_wait_cycles;
+  in.gemm_cycles = c.gemm_cycles;
+  in.gemm_comm_cycles = c.gemm_comm_cycles;
+  in.raw_stall_cycles = c.pipe.raw_stall_cycles;
+  return in;
+}
+
+Attribution attribute(const Counters& c) {
+  return attribute(attribution_input(c));
+}
+
+std::string attribution_report(const Attribution& a) {
+  std::ostringstream os;
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "cycle attribution (%.0f cycles x %d group%s)\n", a.elapsed,
+                a.groups, a.groups == 1 ? "" : "s");
+  os << buf;
+  for (int i = 0; i < kAttrCats; ++i) {
+    const AttrCat c = static_cast<AttrCat>(i);
+    if (c == AttrCat::Residual && std::fabs(a.at(c)) < 0.5) continue;
+    if ((c == AttrCat::Barrier || c == AttrCat::Imbalance) && a.groups == 1)
+      continue;
+    std::snprintf(buf, sizeof buf, "  %-22s%14.0f  (%5.1f%%)\n",
+                  attr_cat_name(c), a.at(c), 100.0 * a.share(c));
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf, "  %-22s%14.0f  (100.0%%)\n", "= total",
+                a.sum());
+  os << buf;
+  return os.str();
+}
+
+std::string attribution_json(const Attribution& a) {
+  std::ostringstream os;
+  os << "{\"elapsed\": " << a.elapsed << ", \"groups\": " << a.groups
+     << ", \"basis\": " << a.basis << ", \"categories\": {";
+  for (int i = 0; i < kAttrCats; ++i) {
+    if (i) os << ", ";
+    os << '"' << attr_cat_name(static_cast<AttrCat>(i)) << "\": "
+       << a.cycles[static_cast<std::size_t>(i)];
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace swatop::obs

@@ -66,6 +66,11 @@ struct CpeCounters {
 struct Counters {
   double total_cycles = 0.0;
   double compute_cycles = 0.0;
+  /// Of compute_cycles: GEMM kernel time, and within it the inter-panel
+  /// register-communication pattern-switch latency (Eq. (2)'s comm term).
+  /// Mirrored from the CgStats accumulators the booking sites increment.
+  double gemm_cycles = 0.0;
+  double gemm_comm_cycles = 0.0;
   std::int64_t flops = 0;
   std::int64_t gemm_calls = 0;
   DmaCounters dma;

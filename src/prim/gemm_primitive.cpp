@@ -58,9 +58,19 @@ void spm_gemm(sim::CoreGroup& cg, const SpmGemmArgs& args, sim::ExecMode mode,
         << "spm_gemm tile exceeds SPM capacity";
   }
 
-  cg.advance_compute(db.spm_gemm_cycles(args.variant, args.M, args.N, args.K));
-  cg.stats().gemm_calls += 1;
-  cg.stats().flops += 2 * args.M * args.N * args.K;
+  const double cycles =
+      db.spm_gemm_cycles(args.variant, args.M, args.N, args.K);
+  cg.advance_compute(cycles);
+  sim::CgStats& st = cg.stats();
+  st.gemm_calls += 1;
+  st.flops += 2 * args.M * args.N * args.K;
+  st.gemm_cycles += cycles;
+  st.gemm_comm_cycles += db.spm_gemm_comm_cycles();
+  const obs::PipeCounters pipe =
+      db.spm_gemm_pipe(args.variant, args.M, args.N, args.K);
+  st.pipe.issued_p0 += pipe.issued_p0;
+  st.pipe.issued_p1 += pipe.issued_p1;
+  st.pipe.raw_stall_cycles += pipe.raw_stall_cycles;
 
   if (mode != sim::ExecMode::Functional) return;
 

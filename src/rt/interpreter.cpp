@@ -446,43 +446,34 @@ void Interpreter::exec_gemm(const ir::Stmt& s) {
       (static_cast<std::uint64_t>(args.N) << 20) ^
       static_cast<std::uint64_t>(args.K);
   const double t0 = cg_.now();
-  if (obs_ != nullptr) {
-    // Per-CPE pipeline attribution from the same kernel-cost fits that
-    // price the call; memoized alongside the cycle cost.
-    auto pit = gemm_pipe_memo_.find(key);
-    if (pit == gemm_pipe_memo_.end()) {
-      pit = gemm_pipe_memo_
-                .emplace(key, db_.spm_gemm_pipe(args.variant, args.M,
-                                                args.N, args.K))
-                .first;
-    }
-    obs::PipeCounters& pipe = obs_->counters().pipe;
-    pipe.issued_p0 += pit->second.issued_p0;
-    pipe.issued_p1 += pit->second.issued_p1;
-    pipe.raw_stall_cycles += pit->second.raw_stall_cycles;
-  }
-
   if (mode_ == sim::ExecMode::Functional) {
+    // prim::spm_gemm books the cycles and the kernel-attribution stats
+    // (gemm_cycles, reg-comm share, per-CPE pipeline breakdown).
     prim::spm_gemm(cg_, args, mode_, db_);
   } else {
-    // TimingOnly fast path: the primitive's cost only depends on the dims
-    // and the variant; memoize it.
+    // TimingOnly fast path: the primitive's cost and pipeline breakdown
+    // only depend on the dims and the variant; memoize both in one entry.
     auto it = gemm_cost_memo_.find(key);
-    double cycles;
-    if (it != gemm_cost_memo_.end()) {
-      cycles = it->second;
-    } else {
+    if (it == gemm_cost_memo_.end()) {
       SWATOP_CHECK(
           prim::spm_gemm_valid(args.M, args.N, args.K, args.variant,
                                cg_.config()))
           << "invalid gemm dims (" << args.M << "," << args.N << ","
           << args.K << ") at runtime";
-      cycles = db_.spm_gemm_cycles(args.variant, args.M, args.N, args.K);
-      gemm_cost_memo_.emplace(key, cycles);
+      GemmCost c;
+      c.cycles = db_.spm_gemm_cycles(args.variant, args.M, args.N, args.K);
+      c.pipe = db_.spm_gemm_pipe(args.variant, args.M, args.N, args.K);
+      it = gemm_cost_memo_.emplace(key, c).first;
     }
-    cg_.advance_compute(cycles);
-    cg_.stats().gemm_calls += 1;
-    cg_.stats().flops += 2 * args.M * args.N * args.K;
+    cg_.advance_compute(it->second.cycles);
+    sim::CgStats& st = cg_.stats();
+    st.gemm_calls += 1;
+    st.flops += 2 * args.M * args.N * args.K;
+    st.gemm_cycles += it->second.cycles;
+    st.gemm_comm_cycles += db_.spm_gemm_comm_cycles();
+    st.pipe.issued_p0 += it->second.pipe.issued_p0;
+    st.pipe.issued_p1 += it->second.pipe.issued_p1;
+    st.pipe.raw_stall_cycles += it->second.pipe.raw_stall_cycles;
   }
 
   if (obs_ != nullptr && obs_->tracing()) {

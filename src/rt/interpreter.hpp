@@ -101,10 +101,14 @@ class Interpreter {
   // Arena allocation extents keyed by base address, for the DMA bounds
   // sanitizer (snapshotted at run() start; empty when bounds are off).
   std::unordered_map<std::int64_t, std::int64_t> alloc_floats_;
-  // Hot-path memoization: gemm cost per (variant, M, N, K) and DMA cost
-  // per transfer geometry.
-  std::unordered_map<std::uint64_t, double> gemm_cost_memo_;
-  std::unordered_map<std::uint64_t, obs::PipeCounters> gemm_pipe_memo_;
+  // Hot-path memoization: gemm cycle cost and per-CPE pipeline breakdown
+  // per (variant, M, N, K) -- one lookup covers both -- and DMA cost per
+  // transfer geometry.
+  struct GemmCost {
+    double cycles = 0.0;
+    obs::PipeCounters pipe;
+  };
+  std::unordered_map<std::uint64_t, GemmCost> gemm_cost_memo_;
   DmaCostCache dma_cost_cache_;
 };
 

@@ -166,6 +166,9 @@ obs::Counters CoreGroup::counters_snapshot() const {
   c.dma.stall_cycles = stats_.dma_stall_cycles;
   c.dma.queue_wait_cycles = stats_.dma_queue_wait_cycles;
   c.dma.busy_cycles = dma_.busy_cycles();
+  c.gemm_cycles = stats_.gemm_cycles;
+  c.gemm_comm_cycles = stats_.gemm_comm_cycles;
+  c.pipe = stats_.pipe;
   const RegCommBus& bus = cluster_.bus();
   c.reg_comm.row_messages = bus.row_messages();
   c.reg_comm.col_messages = bus.col_messages();

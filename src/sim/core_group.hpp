@@ -39,6 +39,18 @@ struct CgStats {
   std::int64_t dma_transfers = 0;
   std::int64_t flops = 0;  ///< useful MACs * 2 executed by GEMM primitives
   std::int64_t gemm_calls = 0;
+  /// Of compute_cycles: cycles booked by GEMM kernels (the rest is
+  /// zero-fills, packing and MPE-priced passes). Both GEMM booking sites
+  /// (prim::spm_gemm, the timing interpreter's fast path) record these so
+  /// the attribution layer can decompose kernel time without re-pricing.
+  double gemm_cycles = 0.0;
+  /// Of gemm_cycles: inter-panel register-communication pattern switches
+  /// (the Sec. 4.6 latency term of Eq. (2)).
+  double gemm_comm_cycles = 0.0;
+  /// Per-CPE dual-pipeline issue/stall estimate for the GEMM kernels, from
+  /// the same pipeline-simulator fits that price them (SPMD: one CPE's
+  /// stream stands for all 64).
+  obs::PipeCounters pipe;
   /// Sanitizer trips (SimConfig::sanitize); accumulated at the throw sites
   /// so counters_snapshot() can surface them in the profile.
   obs::SanitizerCounters sanitizer;
@@ -57,6 +69,11 @@ struct CgStats {
     dma_transfers += o.dma_transfers;
     flops += o.flops;
     gemm_calls += o.gemm_calls;
+    gemm_cycles += o.gemm_cycles;
+    gemm_comm_cycles += o.gemm_comm_cycles;
+    pipe.issued_p0 += o.pipe.issued_p0;
+    pipe.issued_p1 += o.pipe.issued_p1;
+    pipe.raw_stall_cycles += o.pipe.raw_stall_cycles;
     sanitizer.spm_poison_trips += o.sanitizer.spm_poison_trips;
     sanitizer.dma_bounds_trips += o.sanitizer.dma_bounds_trips;
     sanitizer.dma_overlap_trips += o.sanitizer.dma_overlap_trips;

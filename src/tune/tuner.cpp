@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <thread>
 
 #include "common/check.hpp"
@@ -59,6 +60,43 @@ std::vector<double> rank_candidates(
   }
   for (std::thread& t : workers) t.join();
   return est;
+}
+
+/// Rank positions (0 = best) implied by an index-aligned score vector;
+/// ties break towards the lower index, so ranks are deterministic.
+std::vector<std::int64_t> ranks_by_score(const std::vector<double>& score) {
+  std::vector<std::size_t> idx(score.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return score[a] < score[b];
+  });
+  std::vector<std::int64_t> rank(score.size());
+  for (std::size_t r = 0; r < idx.size(); ++r)
+    rank[idx[r]] = static_cast<std::int64_t>(r);
+  return rank;
+}
+
+/// Append one row per candidate (in index order, from the calling thread).
+/// `predicted`/`measured` may be empty; missing values journal as -1.
+void journal_candidates(Journal* journal, const dsl::OperatorDef& op,
+                        const char* phase,
+                        const std::vector<sched::Candidate>& cands,
+                        const std::vector<double>& predicted,
+                        const std::vector<double>& measured,
+                        const std::vector<std::int64_t>& rank,
+                        std::size_t chosen_i) {
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    JournalEntry e;
+    e.op = op.name();
+    e.phase = phase;
+    e.strategy = cands[i].strategy.to_string();
+    e.index = static_cast<std::int64_t>(i);
+    e.rank = rank[i];
+    e.predicted = i < predicted.size() ? predicted[i] : -1.0;
+    e.measured = i < measured.size() ? measured[i] : -1.0;
+    e.chosen = i == chosen_i;
+    journal->append(std::move(e));
+  }
 }
 
 }  // namespace
@@ -120,7 +158,7 @@ ModelTuner::ModelTuner(const sim::SimConfig& cfg) : cfg_(cfg) {}
 
 Tuned ModelTuner::tune(const dsl::OperatorDef& op,
                        const sched::SchedulerOptions& opts,
-                       obs::Recorder* rec) const {
+                       obs::Recorder* rec, Journal* journal) const {
   const double t0 = now_seconds();
   const double w0 = rec ? rec->wall_us() : 0.0;
   const sched::Scheduler sched(cfg_);
@@ -142,6 +180,9 @@ Tuned ModelTuner::tune(const dsl::OperatorDef& op,
       best_i = i;
     }
   }
+  if (journal)
+    journal_candidates(journal, op, "model", cands, est, {},
+                       ranks_by_score(est), best_i);
   Tuned out;
   out.candidate = std::move(cands[best_i]);
   out.cycles = best;
@@ -162,7 +203,7 @@ Tuned ModelTuner::tune(const dsl::OperatorDef& op,
 
 Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
                              const sched::SchedulerOptions& opts,
-                             obs::Recorder* rec) const {
+                             obs::Recorder* rec, Journal* journal) const {
   SWATOP_CHECK(k >= 1) << "tune_top_k with k=" << k;
   const double t0 = now_seconds();
   const double w0 = rec ? rec->wall_us() : 0.0;
@@ -200,12 +241,14 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
   cg.mem().set_materialize(false);
   const dsl::BoundTensors bt = rt::bind_tensors(cg, op);
   rt::Interpreter interp(cg, sim::ExecMode::TimingOnly);
+  std::vector<double> measured(cands.size(), -1.0);
   double best = std::numeric_limits<double>::infinity();
   std::size_t best_i = 0;
   for (std::size_t r = 0; r < keep; ++r) {
     const std::size_t i = ranked[r].second;
     const double wm0 = rec ? rec->wall_us() : 0.0;
     const double t = interp.run(cands[i].program, bt).cycles;
+    measured[i] = t;
     if (rec) {
       tune_phase_span(rec, "measure candidate", wm0, rec->wall_us());
       rec->record_tune_sample(
@@ -216,6 +259,9 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
       best_i = i;
     }
   }
+  if (journal)
+    journal_candidates(journal, op, "top-k", cands, est, measured,
+                       ranks_by_score(est), best_i);
   Tuned out;
   out.candidate = std::move(cands[best_i]);
   out.cycles = best;
@@ -233,7 +279,8 @@ Tuned ModelTuner::tune_top_k(const dsl::OperatorDef& op, int k,
 
 BlackBoxTuner::Result BlackBoxTuner::tune(const dsl::OperatorDef& op,
                                           const sched::SchedulerOptions& opts,
-                                          obs::Recorder* rec) const {
+                                          obs::Recorder* rec,
+                                          Journal* journal) const {
   const double t0 = now_seconds();
   const double w0 = rec ? rec->wall_us() : 0.0;
   const sched::Scheduler sched(cfg_);
@@ -289,6 +336,9 @@ BlackBoxTuner::Result BlackBoxTuner::tune(const dsl::OperatorDef& op,
       rec->record_tune_sample(
           {cands[i].strategy.to_string(), -1.0, res.all_measured[i]});
   }
+  if (journal)
+    journal_candidates(journal, op, "blackbox", cands, {}, res.all_measured,
+                       ranks_by_score(res.all_measured), best_i);
   res.best.candidate = std::move(cands[best_i]);
   res.best.cycles = best;
   res.best.stats.space_size = sched.space_size(op);

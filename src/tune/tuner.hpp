@@ -17,6 +17,7 @@
 #include "obs/recorder.hpp"
 #include "sched/scheduler.hpp"
 #include "tune/cost_model.hpp"
+#include "tune/journal.hpp"
 
 namespace swatop::tune {
 
@@ -62,10 +63,13 @@ class ModelTuner {
   explicit ModelTuner(const sim::SimConfig& cfg);
 
   /// When `rec` is given, the tuning phases are traced (wall-clock track)
-  /// and per-candidate model-vs-measured samples recorded.
+  /// and per-candidate model-vs-measured samples recorded. When `journal`
+  /// is given, every candidate is appended (phase "model"; only the pick is
+  /// ever measured). Journal entries are appended from the calling thread
+  /// in candidate-index order, so the log is identical at any thread count.
   Tuned tune(const dsl::OperatorDef& op,
              const sched::SchedulerOptions& opts = {},
-             obs::Recorder* rec = nullptr) const;
+             obs::Recorder* rec = nullptr, Journal* journal = nullptr) const;
 
   /// The paper's "pick best (or top k)" refinement: rank candidates with
   /// the static model, then *measure* the k best through the timing
@@ -73,7 +77,8 @@ class ModelTuner {
   /// buys back most of the model's residual error (Fig. 9's tail).
   Tuned tune_top_k(const dsl::OperatorDef& op, int k,
                    const sched::SchedulerOptions& opts = {},
-                   obs::Recorder* rec = nullptr) const;
+                   obs::Recorder* rec = nullptr,
+                   Journal* journal = nullptr) const;
 
  private:
   sim::SimConfig cfg_;
@@ -96,7 +101,7 @@ class BlackBoxTuner {
   /// "measure (parallel)" span covers the whole fan-out window).
   Result tune(const dsl::OperatorDef& op,
               const sched::SchedulerOptions& opts = {},
-              obs::Recorder* rec = nullptr) const;
+              obs::Recorder* rec = nullptr, Journal* journal = nullptr) const;
 
  private:
   sim::SimConfig cfg_;

@@ -9,12 +9,19 @@
 #include <string>
 
 #include "core/swatop.hpp"
+#include "graph/build.hpp"
+#include "graph/engine.hpp"
+#include "graph/net_report.hpp"
+#include "obs/attribution.hpp"
 #include "obs/profile.hpp"
 #include "obs/recorder.hpp"
+#include "obs/roofline.hpp"
 #include "obs/trace.hpp"
+#include "ops/implicit_conv.hpp"
 #include "ops/matmul.hpp"
 #include "rt/bind.hpp"
 #include "rt/interpreter.hpp"
+#include "tune/journal.hpp"
 #include "tune/tuner.hpp"
 
 namespace swatop {
@@ -372,6 +379,314 @@ TEST(Obs, RepeatedExecuteResetsExecutionCounters) {
                    r2.profile.counters.total_cycles);
   // The trace accumulates across runs (one timeline).
   EXPECT_GE(r2.profile.events.size(), r1.profile.events.size());
+}
+
+// ---------------------------------------------------------------------------
+// Cycle attribution
+
+TEST(Attribution, SyntheticDecompositionIsExact) {
+  obs::AttributionInput in;
+  in.elapsed = 100.0;
+  in.groups = 1;
+  in.group_cycles = 100.0;
+  in.compute_cycles = 60.0;
+  in.dma_stall_cycles = 40.0;
+  in.dma_queue_wait_cycles = 15.0;
+  in.gemm_cycles = 50.0;
+  in.gemm_comm_cycles = 5.0;
+  in.raw_stall_cycles = 10.0;
+  const obs::Attribution a = obs::attribute(in);
+  EXPECT_TRUE(a.balanced());
+  EXPECT_DOUBLE_EQ(a.basis, 100.0);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::DmaQueueWait), 15.0);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::DmaWait), 25.0);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::RegComm), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::KernelRawStall), 10.0);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::KernelIssue), 35.0);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::OtherCompute), 10.0);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::Residual), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), a.basis);
+}
+
+TEST(Attribution, UnexplainedCyclesLandInResidual) {
+  obs::AttributionInput in;
+  in.elapsed = 100.0;
+  in.groups = 1;
+  in.group_cycles = 100.0;
+  in.compute_cycles = 30.0;  // counters only explain 70 of 100
+  in.dma_stall_cycles = 40.0;
+  const obs::Attribution a = obs::attribute(in);
+  EXPECT_TRUE(a.balanced());
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::Residual), 30.0);
+  EXPECT_DOUBLE_EQ(a.sum(), a.basis);
+}
+
+TEST(Attribution, DoubleBufferedConvTracedBytesAndExactSum) {
+  // The ISSUE's invariant audit, on a real double-buffered convolution:
+  // traced DMA bytes equal priced DMA bytes, and the attribution categories
+  // sum exactly to the elapsed cycles (residual 0 for a single-CG run whose
+  // clock only ever advances through compute and DMA stalls).
+  const sim::SimConfig cfg;
+  ops::ConvShape s;
+  s.batch = 2;
+  s.ni = 64;
+  s.no = 64;
+  s.ri = 18;
+  s.ci = 18;
+  const ops::ImplicitConvOp op(s);
+  const tune::ModelTuner tuner(cfg);
+  const tune::Tuned t = tuner.tune(op);  // default options: prefetch on
+  ASSERT_TRUE(t.candidate.prefetch);     // the schedule is double-buffered
+
+  rt::RunResult r;
+  const obs::Profile p =
+      observed_run(op, t.candidate, cfg, sim::ExecMode::TimingOnly, &r);
+  ASSERT_TRUE(p.enabled);
+  ASSERT_EQ(p.events_dropped, 0);
+
+  // Traced == priced, also under double buffering.
+  std::int64_t ev_bytes = 0, ev_wasted = 0;
+  for (const obs::TraceEvent& ev : p.events) {
+    if (ev.pid != 0 || ev.tid != obs::Track::kDmaEngine) continue;
+    if (ev.name != "dma") continue;
+    ev_bytes += ev.arg[0];
+    ev_wasted += ev.arg[2];
+  }
+  EXPECT_GT(ev_bytes, 0);
+  EXPECT_EQ(ev_bytes, p.counters.dma.bytes_requested);
+  EXPECT_EQ(ev_wasted, p.counters.dma.bytes_wasted);
+  EXPECT_EQ(p.counters.dma.bytes_requested, r.stats.dma_bytes_requested);
+
+  // Exact-sum attribution with zero residual.
+  const obs::Attribution a = obs::attribute(p.counters);
+  EXPECT_TRUE(a.balanced());
+  EXPECT_DOUBLE_EQ(a.basis, r.cycles);
+  EXPECT_DOUBLE_EQ(a.sum(), r.cycles);
+  EXPECT_DOUBLE_EQ(a.at(obs::AttrCat::Residual), 0.0);
+  // A double-buffered conv does real kernel work and overlaps some DMA.
+  EXPECT_GT(a.at(obs::AttrCat::KernelIssue), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Roofline
+
+TEST(Roofline, RidgeSeparatesBindingResource) {
+  obs::RooflineMachine m;
+  m.peak_flops_per_cycle = 32.0;
+  m.dma_bytes_per_cycle = 2.0;
+  EXPECT_DOUBLE_EQ(m.ridge(), 16.0);
+
+  // Below the ridge: memory roof binds.
+  const obs::RooflinePoint lo =
+      obs::roofline_place("lo", /*flops=*/800, /*dram_bytes=*/100,
+                          /*cycles=*/100.0, m);
+  EXPECT_DOUBLE_EQ(lo.intensity, 8.0);
+  EXPECT_FALSE(lo.compute_bound);
+  EXPECT_STREQ(lo.binding(), "dma-bandwidth");
+  EXPECT_DOUBLE_EQ(lo.roof, 16.0);  // 8 flop/B * 2 B/cy
+  EXPECT_DOUBLE_EQ(lo.achieved, 8.0);
+  EXPECT_DOUBLE_EQ(lo.utilization, 0.5);
+
+  // Above the ridge: compute roof binds.
+  const obs::RooflinePoint hi =
+      obs::roofline_place("hi", /*flops=*/6400, /*dram_bytes=*/100,
+                          /*cycles=*/400.0, m);
+  EXPECT_DOUBLE_EQ(hi.intensity, 64.0);
+  EXPECT_TRUE(hi.compute_bound);
+  EXPECT_STREQ(hi.binding(), "compute");
+  EXPECT_DOUBLE_EQ(hi.roof, 32.0);
+  EXPECT_DOUBLE_EQ(hi.utilization, 0.5);
+}
+
+TEST(Roofline, ZeroByteSpanIsComputeBound) {
+  obs::RooflineMachine m;
+  m.peak_flops_per_cycle = 32.0;
+  m.dma_bytes_per_cycle = 2.0;
+  const obs::RooflinePoint p =
+      obs::roofline_place("spm-only", 3200, 0, 100.0, m);
+  EXPECT_TRUE(p.compute_bound);
+  EXPECT_DOUBLE_EQ(p.roof, 32.0);
+  EXPECT_DOUBLE_EQ(p.utilization, 1.0);
+}
+
+TEST(Roofline, CountersPlacementUsesTransactionBytes) {
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(128, 128, 64);
+  const sched::Candidate cand = fixed_matmul_candidate(op, cfg);
+  const obs::Profile p =
+      observed_run(op, cand, cfg, sim::ExecMode::TimingOnly);
+  const obs::RooflineMachine m{cfg.peak_flops_per_cycle(),
+                               cfg.dma_bytes_per_cycle()};
+  const obs::RooflinePoint pt = obs::roofline_place("mm", p.counters, m);
+  EXPECT_EQ(pt.dram_bytes,
+            p.counters.dma.bytes_requested + p.counters.dma.bytes_wasted);
+  EXPECT_EQ(pt.flops, p.counters.flops);
+  EXPECT_GT(pt.utilization, 0.0);
+  EXPECT_LE(pt.utilization, 1.0 + 1e-9);
+  const std::string rep = obs::roofline_report({pt}, m);
+  EXPECT_NE(rep.find("bound"), std::string::npos);
+  JsonValidator v(obs::roofline_json({pt}, m));
+  EXPECT_TRUE(v.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Tuning journal
+
+TEST(Journal, ModelErrorAndRegretStatistics) {
+  tune::Journal j;
+  // Three measured entries (in journal order) + one pruned (excluded).
+  j.append({"op", "model", "s0", 0, 2, 120.0, 100.0, false});
+  j.append({"op", "model", "s1", 1, 0, 80.0, 90.0, false});
+  j.append({"op", "model", "s2", 2, 1, 95.0, 95.0, true});
+  j.append({"op", "model", "s3", 3, 3, 200.0, -1.0, false});  // pruned
+
+  const tune::ModelErrorStats st = tune::model_error_stats(j.entries());
+  EXPECT_EQ(st.samples, 3);
+  // |120-100|/100 = .2, |80-90|/90 = .111..., |95-95|/95 = 0.
+  EXPECT_NEAR(st.mean_rel_err, (0.2 + 1.0 / 9.0) / 3.0, 1e-12);
+  EXPECT_NEAR(st.max_rel_err, 0.2, 1e-12);
+  // Predicted order (80, 95, 120) matches measured order (90, 95, 100).
+  EXPECT_NEAR(st.rank_corr, 1.0, 1e-12);
+
+  const std::vector<double> regret = tune::regret_curve(j.entries());
+  ASSERT_EQ(regret.size(), 3u);
+  EXPECT_NEAR(regret[0], 100.0 / 90.0 - 1.0, 1e-12);  // best-so-far 100
+  EXPECT_NEAR(regret[1], 0.0, 1e-12);                 // found the winner
+  EXPECT_NEAR(regret[2], 0.0, 1e-12);
+
+  const std::string sum = tune::journal_summary(j);
+  EXPECT_NE(sum.find("model"), std::string::npos);
+  JsonValidator v(tune::journal_summary_json(j));
+  EXPECT_TRUE(v.valid());
+}
+
+TEST(Journal, JsonlSerializesUnevaluatedAsNull) {
+  tune::Journal j;
+  j.append({"op \"x\"", "blackbox", "s", 0, 0, -1.0, 42.0, true});
+  const std::string line = tune::journal_entry_json(j.entries()[0]);
+  EXPECT_NE(line.find("\"predicted\": null"), std::string::npos);
+  EXPECT_NE(line.find("42"), std::string::npos);
+  JsonValidator v(line);
+  EXPECT_TRUE(v.valid()) << line;
+  // Every JSONL line of a real tuning run is valid JSON too.
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(64, 64, 32);
+  tune::Journal real;
+  const tune::ModelTuner tuner(cfg);
+  (void)tuner.tune(op, {}, nullptr, &real);
+  ASSERT_GT(real.size(), 0u);
+  std::istringstream lines(real.to_jsonl());
+  std::string l;
+  while (std::getline(lines, l)) {
+    JsonValidator lv(l);
+    EXPECT_TRUE(lv.valid()) << l;
+  }
+}
+
+TEST(Journal, IdenticalAcrossRunsAndThreadCounts) {
+  // The determinism contract: a tuning journal is byte-identical run to
+  // run, including when the tuner's ranking fans out to worker threads.
+  const sim::SimConfig cfg;
+  ops::MatmulOp op(128, 128, 64);
+  const tune::ModelTuner tuner(cfg);
+
+  const auto journal_of = [&](int threads) {
+    sched::SchedulerOptions opts;
+    opts.num_threads = threads;
+    tune::Journal j;
+    (void)tuner.tune(op, opts, nullptr, &j);
+    return j.to_jsonl();
+  };
+  const std::string serial_a = journal_of(1);
+  const std::string serial_b = journal_of(1);
+  const std::string parallel = journal_of(4);
+  EXPECT_EQ(serial_a, serial_b);
+  EXPECT_EQ(serial_a, parallel);
+  EXPECT_FALSE(serial_a.empty());
+}
+
+TEST(Journal, OptimizerCacheHitIsJournaled) {
+  SwatopConfig cfg;
+  cfg.cache.enabled = true;  // in-memory (no path)
+  tune::Journal j;
+  cfg.journal = &j;
+  Optimizer optimizer(cfg);
+  ops::MatmulOp op(128, 128, 64);
+  (void)optimizer.optimize(op);
+  const std::size_t first = j.size();
+  ASSERT_GT(first, 0u);
+  (void)optimizer.optimize(op);  // in-memory cache hit
+  ASSERT_GT(j.size(), first);
+  const tune::JournalEntry& hit = j.entries().back();
+  EXPECT_EQ(hit.phase, "cache");
+  EXPECT_TRUE(hit.chosen);
+}
+
+TEST(Obs, ProfileTextIsDeterministic) {
+  SwatopConfig cfg;
+  cfg.observability.enabled = true;
+  ops::MatmulOp op(128, 128, 64);
+  // Every simulated quantity in the report is byte-identical run to run;
+  // the single host-time line ("wall clock") is the only exception and is
+  // stripped before comparing.
+  const auto report_of = [&]() {
+    auto [tuned, r] = optimize_and_run(cfg, op, sim::ExecMode::TimingOnly);
+    (void)tuned;
+    std::istringstream in(r.profile.report());
+    std::string out, line;
+    while (std::getline(in, line))
+      if (line.find("wall clock") == std::string::npos) out += line + "\n";
+    return out;
+  };
+  const std::string a = report_of();
+  const std::string b = report_of();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-network attribution (graph engine)
+
+TEST(NetAttribution, Vgg16PerLayerAttributionsSumToNetBasis) {
+  const graph::Graph g = graph::build_net("vgg16");
+  SwatopConfig cfg;
+  graph::GraphEngine engine(cfg);
+  graph::NetOptions opts;
+  opts.groups = 2;
+  opts.mode = sim::ExecMode::TimingOnly;
+  opts.check = false;
+  const graph::NetRunResult r = engine.run(g, /*batch=*/2, opts);
+  ASSERT_FALSE(r.layers.empty());
+
+  // Every layer's decomposition is exact over its own basis, and the layer
+  // bases tile the network basis exactly (the per-step maxima sum to the
+  // end-to-end cycle count).
+  double layer_basis_sum = 0.0, layer_cycles_sum = 0.0;
+  for (const graph::LayerReport& lr : r.layers) {
+    const obs::Attribution a = graph::layer_attribution(lr);
+    EXPECT_TRUE(a.balanced()) << lr.name;
+    EXPECT_DOUBLE_EQ(a.sum(), a.basis) << lr.name;
+    EXPECT_DOUBLE_EQ(a.basis, lr.cycles * lr.groups) << lr.name;
+    layer_basis_sum += a.basis;
+    layer_cycles_sum += lr.cycles;
+  }
+  EXPECT_DOUBLE_EQ(layer_cycles_sum, r.cycles);
+  EXPECT_DOUBLE_EQ(layer_basis_sum, r.cycles * r.groups_used);
+
+  // The whole-network decomposition is exact over the same basis.
+  const obs::Attribution net = graph::net_attribution(r);
+  EXPECT_TRUE(net.balanced());
+  EXPECT_DOUBLE_EQ(net.basis, r.cycles * r.groups_used);
+  EXPECT_DOUBLE_EQ(net.sum(), net.basis);
+  // Multi-CG runs pay real NoC barriers.
+  EXPECT_GT(net.at(obs::AttrCat::Barrier), 0.0);
+
+  // The rendered reports carry the tables and are well-formed.
+  const std::string text = graph::net_report(r, cfg.machine);
+  EXPECT_NE(text.find("attribution"), std::string::npos);
+  EXPECT_NE(text.find("roofline"), std::string::npos);
+  JsonValidator v(graph::net_report_json(r, cfg.machine));
+  EXPECT_TRUE(v.valid());
 }
 
 }  // namespace

@@ -18,6 +18,8 @@
 #include "common/check.hpp"
 #include "graph/build.hpp"
 #include "graph/engine.hpp"
+#include "graph/net_report.hpp"
+#include "tune/journal.hpp"
 
 namespace {
 
@@ -32,7 +34,12 @@ void usage() {
          "         [--no-check]        skip the whole-net reference check\n"
          "         [--tol X]           check tolerance (default 1e-4)\n"
          "         [--cache FILE]      persistent schedule cache\n"
-         "         [--report FILE]     write the Chrome trace JSON\n";
+         "         [--report FILE]     write the Chrome trace JSON\n"
+         "         [--full-report]     per-layer cycle attribution, "
+         "roofline and\n"
+         "                             tuning-journal summary after the "
+         "run\n"
+         "         [--journal FILE]    write the tuning journal (JSONL)\n";
 }
 
 swatop::graph::ConvMethod parse_method(const std::string& s) {
@@ -64,6 +71,9 @@ int main(int argc, char** argv) {
   swatop::SwatopConfig cfg;
   swatop::graph::NetOptions opts;
   std::string report_path;
+  std::string journal_path;
+  bool full_report = false;
+  swatop::tune::Journal journal;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -90,6 +100,12 @@ int main(int argc, char** argv) {
     } else if (a == "--report") {
       report_path = next();
       cfg.observability.enabled = true;
+    } else if (a == "--full-report") {
+      full_report = true;
+      cfg.journal = &journal;
+    } else if (a == "--journal") {
+      journal_path = next();
+      cfg.journal = &journal;
     } else {
       std::cerr << "unknown option '" << a << "'\n";
       usage();
@@ -147,6 +163,21 @@ int main(int argc, char** argv) {
     if (r.checked)
       std::printf("check:  max rel err %.2e (tol %.0e)\n", r.max_rel_err,
                   opts.tolerance);
+
+    if (full_report) {
+      swatop::graph::NetReportOptions ro;
+      ro.journal = &journal;
+      std::printf("\n%s",
+                  swatop::graph::net_report(r, cfg.machine, ro).c_str());
+    }
+    if (!journal_path.empty()) {
+      if (journal.write_jsonl(journal_path))
+        std::printf("journal: %s (%zu entries)\n", journal_path.c_str(),
+                    journal.size());
+      else
+        std::fprintf(stderr, "failed to write journal %s\n",
+                     journal_path.c_str());
+    }
 
     if (!report_path.empty() && r.profile.enabled) {
       std::ofstream os(report_path);

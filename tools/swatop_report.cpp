@@ -1,0 +1,250 @@
+// swatop_report: one command that explains where the cycles went and what
+// the tuner did. Runs a whole network (graph engine) or a single operator
+// (optimizer + interpreter) with observability and the tuning journal on,
+// then renders:
+//   - the per-layer network breakdown with cycle-attribution shares,
+//   - the exact whole-run cycle attribution (categories sum to elapsed),
+//   - the roofline table naming every span's binding resource,
+//   - the tuning-journal summary (model error, rank correlation, regret),
+//   - (op mode) the observability profile report,
+// as text (default) or one JSON object (--json).
+//
+//   swatop_report net vgg16 4 --groups 2
+//   swatop_report net resnet 8 --json
+//   swatop_report op matmul 512 512 512 --top-k 4
+//   swatop_report op conv 56 56 128 128 3 8
+//
+// Exit status: 0 on success, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/swatop.hpp"
+#include "graph/build.hpp"
+#include "graph/engine.hpp"
+#include "graph/net_report.hpp"
+#include "obs/attribution.hpp"
+#include "obs/roofline.hpp"
+#include "ops/implicit_conv.hpp"
+#include "ops/matmul.hpp"
+#include "tune/journal.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: swatop_report net <vgg16|resnet|yolo> <batch>\n"
+         "         [--groups N]     core groups (1-4, default 1)\n"
+         "         [--method M]     auto|implicit|explicit|winograd\n"
+         "       swatop_report op matmul <M> <N> <K>\n"
+         "       swatop_report op conv <ri> <ci> <ni> <no> <k> <batch>\n"
+         "         [--top-k K]      measure the K model-ranked best\n"
+         "       common options:\n"
+         "         [--json]         one JSON object instead of text\n"
+         "         [--journal FILE] also write the journal JSONL\n";
+}
+
+std::int64_t parse_int(const char* s) {
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1) {
+    std::cerr << "bad number '" << s << "'\n";
+    usage();
+    std::exit(2);
+  }
+  return v;
+}
+
+swatop::graph::ConvMethod parse_method(const std::string& s) {
+  using swatop::graph::ConvMethod;
+  if (s == "auto") return ConvMethod::Auto;
+  if (s == "implicit") return ConvMethod::Implicit;
+  if (s == "explicit") return ConvMethod::Explicit;
+  if (s == "winograd") return ConvMethod::Winograd;
+  std::cerr << "unknown method '" << s << "'\n";
+  usage();
+  std::exit(2);
+}
+
+struct CommonArgs {
+  bool json = false;
+  std::string journal_path;
+};
+
+int report_net(const std::string& net, std::int64_t batch, int argc,
+               char** argv, int i0) {
+  swatop::SwatopConfig cfg;
+  swatop::tune::Journal journal;
+  cfg.journal = &journal;
+  swatop::graph::NetOptions opts;
+  opts.mode = swatop::sim::ExecMode::TimingOnly;
+  opts.check = false;
+  CommonArgs c;
+  for (int i = i0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--groups") {
+      opts.groups = static_cast<int>(parse_int(next()));
+    } else if (a == "--method") {
+      opts.method = parse_method(next());
+    } else if (a == "--json") {
+      c.json = true;
+    } else if (a == "--journal") {
+      c.journal_path = next();
+    } else {
+      std::cerr << "unknown option '" << a << "'\n";
+      usage();
+      return 2;
+    }
+  }
+
+  const swatop::graph::Graph g = swatop::graph::build_net(net);
+  swatop::graph::GraphEngine engine(cfg);
+  const swatop::graph::NetRunResult r = engine.run(g, batch, opts);
+
+  swatop::graph::NetReportOptions ro;
+  ro.journal = &journal;
+  if (c.json)
+    std::printf("%s\n",
+                swatop::graph::net_report_json(r, cfg.machine, ro).c_str());
+  else
+    std::printf("%s",
+                swatop::graph::net_report(r, cfg.machine, ro).c_str());
+  if (!c.journal_path.empty()) journal.write_jsonl(c.journal_path);
+  return 0;
+}
+
+int report_op(int argc, char** argv, int i0) {
+  if (i0 >= argc) {
+    usage();
+    return 2;
+  }
+  const std::string kind = argv[i0++];
+  std::unique_ptr<swatop::dsl::OperatorDef> op;
+  if (kind == "matmul") {
+    if (i0 + 3 > argc) {
+      usage();
+      return 2;
+    }
+    op = std::make_unique<swatop::ops::MatmulOp>(
+        parse_int(argv[i0]), parse_int(argv[i0 + 1]),
+        parse_int(argv[i0 + 2]));
+    i0 += 3;
+  } else if (kind == "conv") {
+    if (i0 + 6 > argc) {
+      usage();
+      return 2;
+    }
+    swatop::ops::ConvShape s;
+    s.ri = parse_int(argv[i0]);
+    s.ci = parse_int(argv[i0 + 1]);
+    s.ni = parse_int(argv[i0 + 2]);
+    s.no = parse_int(argv[i0 + 3]);
+    s.kr = s.kc = parse_int(argv[i0 + 4]);
+    s.batch = parse_int(argv[i0 + 5]);
+    i0 += 6;
+    op = std::make_unique<swatop::ops::ImplicitConvOp>(s);
+  } else {
+    std::cerr << "unknown operator '" << kind << "'\n";
+    usage();
+    return 2;
+  }
+
+  swatop::SwatopConfig cfg;
+  cfg.observability.enabled = true;
+  cfg.measure_best = true;
+  swatop::tune::Journal journal;
+  cfg.journal = &journal;
+  CommonArgs c;
+  for (int i = i0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--top-k") {
+      cfg.tune_top_k = static_cast<int>(parse_int(next()));
+    } else if (a == "--json") {
+      c.json = true;
+    } else if (a == "--journal") {
+      c.journal_path = next();
+    } else {
+      std::cerr << "unknown option '" << a << "'\n";
+      usage();
+      return 2;
+    }
+  }
+
+  auto [tuned, r] =
+      swatop::optimize_and_run(cfg, *op, swatop::sim::ExecMode::TimingOnly);
+  const swatop::obs::Counters& cnt = r.profile.counters;
+  const swatop::obs::Attribution attr = swatop::obs::attribute(cnt);
+  const swatop::obs::RooflineMachine m =
+      swatop::graph::roofline_machine(cfg.machine);
+  const std::vector<swatop::obs::RooflinePoint> pts = {
+      swatop::obs::roofline_place(op->name(), cnt, m)};
+
+  if (c.json) {
+    std::printf(
+        "{\"op\": \"%s\", \"strategy\": \"%s\", \"cycles\": %.0f, "
+        "\"predicted_cycles\": %.0f, \"attribution\": %s, \"roofline\": %s, "
+        "\"journal\": %s}\n",
+        op->name().c_str(), tuned.candidate.strategy.to_string().c_str(),
+        r.cycles, tuned.predicted_cycles,
+        swatop::obs::attribution_json(attr).c_str(),
+        swatop::obs::roofline_json(pts, m).c_str(),
+        swatop::tune::journal_summary_json(journal).c_str());
+  } else {
+    std::printf("%s: picked %s, %.0f cycles (model predicted %.0f)\n\n",
+                op->name().c_str(),
+                tuned.candidate.strategy.to_string().c_str(), r.cycles,
+                tuned.predicted_cycles);
+    std::fputs(swatop::obs::attribution_report(attr).c_str(), stdout);
+    std::printf("\n%s", swatop::obs::roofline_report(pts, m).c_str());
+    std::printf("\n%s", swatop::tune::journal_summary(journal).c_str());
+    std::printf("\n%s", r.profile.report().c_str());
+  }
+  if (!c.journal_path.empty()) journal.write_jsonl(c.journal_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string mode = argv[1];
+  try {
+    if (mode == "net") {
+      if (argc < 4) {
+        usage();
+        return 2;
+      }
+      return report_net(argv[2], parse_int(argv[3]), argc, argv, 4);
+    }
+    if (mode == "op") return report_op(argc, argv, 2);
+    std::cerr << "unknown mode '" << mode << "'\n";
+    usage();
+    return 2;
+  } catch (const swatop::CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
