@@ -1,16 +1,21 @@
 // End-to-end network benchmark on the graph engine: VGG16 / ResNet / YOLO
-// executed whole (timing mode) with the batch split across the 4 core
-// groups. Prints a table and writes BENCH_net_e2e.json (shared bench_util
-// emitter) with the machine-readable series (GFLOPS, ms/image, planned peak
-// bytes) so CI can track chip-level end-to-end performance, not just
-// per-operator numbers.
+// compiled through swatop::compile() (epilogue fusion + inter-layer SPM
+// residency on by default) and executed whole (timing mode) with the batch
+// split across the 4 core groups. Prints a table and writes two JSON series
+// via the shared bench_util emitter:
+//   BENCH_net_e2e.json            -- the fused defaults CI tracks,
+//   BENCH_net_fusion_ablation.json -- the same nets with fusion and
+//     residency forced off, plus the fused-over-unfused speedup, so the
+//     bench-regression gate catches both a fused regression and a silent
+//     loss of the fusion win itself.
 //
 // Quick mode runs batch 8; SWATOP_FULL=1 runs the paper's batch 32.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "graph/build.hpp"
-#include "graph/engine.hpp"
+#include "graph/compile.hpp"
 
 using namespace swatop;
 
@@ -20,27 +25,30 @@ int main() {
                      "batch " +
                      std::to_string(batch) + ")");
   bench::BenchJson bj("net_e2e");
+  bench::BenchJson ablation("net_fusion_ablation");
   bench::print_row({"network", "layers", "shapes", "GFLOPS", "eff%",
-                    "ms/image", "peak MB", "reuse%"});
+                    "ms/image", "elided MB", "peak MB", "reuse%"});
+  std::vector<std::vector<std::string>> ablation_rows;
 
   for (const char* net : {"vgg16", "resnet", "yolo"}) {
-    const graph::Graph g = graph::build_net(net);
-    SwatopConfig cfg;
-    graph::GraphEngine engine(cfg);
+    CompiledNet compiled = compile(graph::build_net(net));
     graph::NetOptions opts;
     opts.groups = 4;
     opts.mode = sim::ExecMode::TimingOnly;
-    const graph::NetRunResult r = engine.run(g, batch, opts);
+    const graph::NetRunResult r = compiled.run(batch, opts);
 
     const double planned_mb =
         static_cast<double>(r.planned_peak_floats) * 4.0 / 1e6;
     const double reuse = 100.0 * static_cast<double>(r.planned_peak_floats) /
                          static_cast<double>(r.naive_floats);
-    bench::print_row({net, std::to_string(g.conv_count()),
+    const double elided_mb =
+        static_cast<double>(r.dma_bytes_elided) / 1e6;
+    bench::print_row({net,
+                      std::to_string(compiled.graph().conv_count()),
                       std::to_string(r.shapes_tuned), bench::fmt(r.gflops, 1),
                       bench::fmt(100.0 * r.efficiency, 1),
-                      bench::fmt(r.ms_per_image, 2), bench::fmt(planned_mb, 1),
-                      bench::fmt(reuse, 0)});
+                      bench::fmt(r.ms_per_image, 2), bench::fmt(elided_mb, 1),
+                      bench::fmt(planned_mb, 1), bench::fmt(reuse, 0)});
 
     bj.add(net,
            {{"net", net},
@@ -54,8 +62,38 @@ int main() {
              static_cast<double>(r.planned_peak_floats) * 4.0},
             {"naive_bytes", static_cast<double>(r.naive_floats) * 4.0},
             {"shapes_tuned", static_cast<double>(r.shapes_tuned)},
+            {"convs_fused", static_cast<double>(r.fusion.convs_fused)},
+            {"resident_tensors", static_cast<double>(r.resident_tensors)},
+            {"dma_bytes_elided", static_cast<double>(r.dma_bytes_elided)},
             {"tune_seconds", r.tune_seconds}},
            r.cycles);
+
+    // Ablation: the same network with the epilogue fusion pass and the SPM
+    // residency pass disabled (run_network's --no-fusion/--no-residency).
+    graph::NetOptions plain = opts;
+    plain.fusion = false;
+    plain.residency = false;
+    const graph::NetRunResult u = compiled.run(batch, plain);
+    ablation.add(net,
+                 {{"net", net},
+                  {"batch", std::to_string(batch)},
+                  {"groups", "4"}},
+                 {{"fused_gflops", r.gflops},
+                  {"unfused_gflops", u.gflops},
+                  {"fused_cycles", r.cycles},
+                  {"unfused_cycles", u.cycles},
+                  {"fusion_speedup", u.cycles / r.cycles},
+                  {"convs_fused", static_cast<double>(r.fusion.convs_fused)},
+                  {"dma_bytes_elided",
+                   static_cast<double>(r.dma_bytes_elided)}},
+                 0.0);
+    ablation_rows.push_back({net, bench::fmt(r.gflops, 1),
+                             bench::fmt(u.gflops, 1),
+                             bench::fmt(u.cycles / r.cycles, 2) + "x"});
   }
+
+  std::printf("\nfusion ablation (fusion + residency off)\n");
+  bench::print_row({"network", "fused", "unfused", "speedup"});
+  for (const auto& row : ablation_rows) bench::print_row(row);
   return 0;
 }

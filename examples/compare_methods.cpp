@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/swatop.hpp"
+#include "graph/compile.hpp"
 #include "ops/explicit_conv.hpp"
 #include "ops/implicit_conv.hpp"
 #include "ops/winograd.hpp"
@@ -20,7 +20,7 @@ double tuned(const dsl::OperatorDef& op, const sim::SimConfig& machine) {
   SwatopConfig c;
   c.machine = machine;
   c.measure_best = true;
-  return Optimizer(c).optimize(op).measured_cycles;
+  return compile(op, c).handle().measured_cycles;
 }
 
 }  // namespace

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/swatop.hpp"
+#include "graph/compile.hpp"
 #include "dsl/builder.hpp"
 #include "isa/kernel_gen.hpp"
 #include "opt/boundary.hpp"
@@ -86,14 +86,13 @@ int main(int argc, char** argv) {
           })
           .build();
 
-  Optimizer optimizer;
-  OptimizedOperator tuned = optimizer.optimize(*op);
+  CompiledOp compiled = compile(*op);
   std::printf("custom operator tuned: %s\n",
-              tuned.candidate.strategy.to_string().c_str());
+              compiled.handle().candidate.strategy.to_string().c_str());
 
-  // The tuned handle owns the core group, binding and input fill.
-  const auto r = tuned.execute(sim::ExecMode::Functional);
-  const double err = tuned.check_output();
+  // The compiled handle owns the core group, binding and input fill.
+  const auto r = compiled.run();
+  const double err = compiled.check();
   std::printf("ran in %.0f simulated cycles, max |err| = %.2e %s\n",
               r.cycles, err, err < 2e-3 ? "(OK)" : "(FAILED)");
   return err < 2e-3 ? 0 : 1;

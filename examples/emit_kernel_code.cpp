@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/swatop.hpp"
+#include "graph/compile.hpp"
 #include "ops/matmul.hpp"
 
 int main(int argc, char** argv) {
@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
 
   ops::MatmulOp op(M, N, K);
   SwatopConfig cfg;  // default machine; the single configuration surface
-  const OptimizedOperator tuned = Optimizer(cfg).optimize(op);
+  const CompiledOp compiled = compile(op, cfg);
+  const OptimizedOperator& tuned = compiled.handle();
 
   std::printf("// strategy: %s\n",
               tuned.candidate.strategy.to_string().c_str());

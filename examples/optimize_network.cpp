@@ -1,21 +1,20 @@
-// swATOP as a whole-network compiler: deduplicate the layer table with
-// nets::distinct(), tune each distinct shape once into the persistent
-// schedule cache, then hand the network to the graph engine, which plans
-// the activation arena and executes end-to-end on the simulated chip with
-// the batch split across core groups.
+// swATOP as a whole-network compiler: hand the network to
+// swatop::compile(), which fuses conv epilogues (bias / residual-add /
+// relu / pad folded into the conv store path), pins qualifying
+// inter-layer tensors in SPM, deduplicates the distinct (shape, epilogue)
+// keys, tunes each once into the persistent schedule cache, plans the
+// activation arena and executes end-to-end on the simulated chip with the
+// batch split across core groups.
 //
 //   $ ./optimize_network [vgg16|resnet|yolo] [batch] [groups]
 //
-// Re-runs are instant: both phases hit the schedule cache file.
+// The second run -- and any later process pointed at the same cache file --
+// serves every schedule from the cache instead of re-tuning.
 #include <cstdio>
 #include <string>
 
-#include "core/swatop.hpp"
 #include "graph/build.hpp"
-#include "graph/engine.hpp"
-#include "nets/nets.hpp"
-#include "ops/explicit_conv.hpp"
-#include "ops/implicit_conv.hpp"
+#include "graph/compile.hpp"
 
 using namespace swatop;
 
@@ -24,74 +23,38 @@ int main(int argc, char** argv) {
   const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 32;
   const int groups = argc > 3 ? std::atoi(argv[3]) : 4;
 
-  std::vector<nets::LayerDef> layers;
-  if (net == "vgg16")
-    layers = nets::vgg16();
-  else if (net == "resnet")
-    layers = nets::resnet();
-  else if (net == "yolo")
-    layers = nets::yolo();
-  else {
-    std::fprintf(stderr, "unknown network '%s'\n", net.c_str());
-    return 1;
-  }
-
   SwatopConfig cfg;
   cfg.cache.enabled = true;
   cfg.cache.path = "optimize_network.cache";
 
-  // Phase 1: tune each *distinct* layer shape once, at the per-group
-  // sub-batch the engine will run, banking the winners in the cache --
-  // repeated layers (conv3_2 == conv3_3, ...) never re-enumerate a space.
-  const std::vector<nets::LayerDef> uniq = nets::distinct(layers);
-  // An uneven split gives some groups ceil(batch/groups) images and some
-  // floor; tune both sub-batch sizes when they differ.
-  std::vector<std::int64_t> sub_batches{batch / groups +
-                                        (batch % groups != 0 ? 1 : 0)};
-  if (batch % groups != 0 && batch / groups >= 1)
-    sub_batches.push_back(batch / groups);
-  std::printf("%s: %zu layers, %zu distinct shapes (batch %lld over %d "
-              "core groups)\n",
-              net.c_str(), layers.size(), uniq.size(),
+  CompiledNet compiled = compile(graph::build_net(net), cfg);
+  std::printf("%s: %zu nodes, %lld tuned conv layers (batch %lld over %d "
+              "core groups)\n\n",
+              net.c_str(), compiled.graph().nodes().size(),
+              static_cast<long long>(compiled.graph().conv_count()),
               static_cast<long long>(batch), groups);
-  {
-    Optimizer opt(cfg);
-    int hits = 0;
-    for (const nets::LayerDef& l : uniq) {
-      for (std::int64_t b : sub_batches) {
-        const ops::ConvShape s = nets::to_shape(l, b);
-        const bool hit =
-            ops::ImplicitConvOp::applicable(s)
-                ? opt.optimize(ops::ImplicitConvOp(s)).from_cache
-                : opt.optimize(ops::ExplicitConvOp(s)).from_cache;
-        hits += hit ? 1 : 0;
-      }
-    }
-    std::printf("pre-tuned %zu shapes into %s (%d cache hits)\n\n",
-                uniq.size() * sub_batches.size(), cfg.cache.path.c_str(),
-                hits);
-  }
 
-  // Phase 2: whole-network execution on the engine (timing mode -- the
-  // stand-in for a hardware deployment run). Every layer's schedule comes
-  // out of the cache warmed above.
-  graph::GraphEngine engine(cfg);
   graph::NetOptions opts;
   opts.groups = groups;
   opts.mode = sim::ExecMode::TimingOnly;
-  const graph::NetRunResult r = engine.run(graph::build_net(net), batch, opts);
+  const graph::NetRunResult r = compiled.run(batch, opts);
 
   std::printf("%-14s%-10s%-12s%-10s\n", "layer", "method", "GFLOPS",
               "ms/layer");
   for (const auto& l : r.layers) {
     if (!l.conv) continue;
-    std::printf("%-14s%-10s%-12.1f%-10.3f%s\n", l.name.c_str(),
+    std::printf("%-14s%-10s%-12.1f%-10.3f%s%s\n", l.name.c_str(),
                 l.kind.c_str(), l.gflops,
-                l.cycles / engine.config().machine.clock_ghz / 1e6,
-                l.from_cache ? "(cached)" : "");
+                l.cycles / compiled.config().machine.clock_ghz / 1e6,
+                l.fused ? "(fused)" : "", l.from_cache ? "(cached)" : "");
   }
 
-  std::printf("\nschedules: %lld distinct, %lld served from cache; tuning "
+  std::printf("\nfusion: %d conv(s) absorbed their elementwise tails; "
+              "residency pinned %lld tensor(s), eliding %.1f MB of DMA\n",
+              r.fusion.convs_fused,
+              static_cast<long long>(r.resident_tensors),
+              static_cast<double>(r.dma_bytes_elided) / (1024.0 * 1024.0));
+  std::printf("schedules: %lld distinct, %lld served from cache; tuning "
               "%.2fs\n",
               static_cast<long long>(r.shapes_tuned),
               static_cast<long long>(r.cache_hits), r.tune_seconds);
@@ -102,5 +65,11 @@ int main(int argc, char** argv) {
               "%.2f ms/image\n",
               r.groups_used, r.gflops, 100.0 * r.efficiency, r.ms_per_batch,
               r.ms_per_image);
+
+  // Re-run: every distinct schedule now comes out of the warmed cache.
+  const graph::NetRunResult again = compiled.run(batch, opts);
+  std::printf("\nsecond run: %lld/%lld schedules from cache, tuning %.2fs\n",
+              static_cast<long long>(again.cache_hits),
+              static_cast<long long>(again.shapes_tuned), again.tune_seconds);
   return 0;
 }

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/swatop.hpp"
+#include "graph/compile.hpp"
 #include "nets/nets.hpp"
 #include "obs/attribution.hpp"
 #include "obs/roofline.hpp"
@@ -28,13 +28,14 @@ int main(int argc, char** argv) {
   SwatopConfig cfg;
   cfg.observability.enabled = true;  // counters + trace
   cfg.tune_top_k = 4;  // measure the 4 model-ranked best (traced too)
-  tune::Journal journal;  // every candidate the tuner considers
-  cfg.journal = &journal;
 
-  auto [tuned, r] = optimize_and_run(cfg, op, sim::ExecMode::TimingOnly);
+  // compile() owns the tuning journal: every candidate the tuner considers
+  // is recorded without the caller wiring anything up.
+  CompiledOp compiled = compile(op, cfg);
+  const rt::RunResult r = compiled.run(sim::ExecMode::TimingOnly);
   std::printf("picked %s: %.0f cycles measured, %.1f GFLOPS\n\n",
-              tuned.candidate.strategy.to_string().c_str(), r.cycles,
-              r.gflops(op.flops(), cfg.machine));
+              compiled.handle().candidate.strategy.to_string().c_str(),
+              r.cycles, r.gflops(op.flops(), cfg.machine));
 
   // The profile snapshot rides on the run result.
   std::fputs(r.profile.report().c_str(), stdout);
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
   const std::vector<obs::RooflinePoint> pts = {
       obs::roofline_place(op.name(), r.profile.counters, m)};
   std::printf("\n%s", obs::roofline_report(pts, m).c_str());
-  std::printf("\n%s", tune::journal_summary(journal).c_str());
+  std::printf("\n%s", tune::journal_summary(compiled.journal()).c_str());
 
   std::ofstream out(trace_path);
   r.profile.write_chrome_trace(out);

@@ -1,12 +1,12 @@
 // Quickstart: tune one matrix multiplication, run the generated schedule
 // functionally on the simulated SW26010 core group, and validate it -- the
-// whole pipeline is one optimize_and_run call.
+// whole pipeline is compile() + run() + check().
 //
 //   $ ./quickstart [M N K]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/swatop.hpp"
+#include "graph/compile.hpp"
 #include "ops/matmul.hpp"
 
 int main(int argc, char** argv) {
@@ -20,11 +20,12 @@ int main(int argc, char** argv) {
   //    kernel variants, boundary strategies).
   ops::MatmulOp op(M, N, K);
 
-  // 2. Tune and run: the performance-model-based autotuner scores every
-  //    valid schedule strategy, picks the predicted best, and the tuned
-  //    handle executes it functionally on a core group it owns.
+  // 2. Compile: the performance-model-based autotuner scores every valid
+  //    schedule strategy and picks the predicted best; the handle owns the
+  //    generated code, the core group and the tuning journal.
   const SwatopConfig cfg;
-  auto [tuned, r] = optimize_and_run(cfg, op);
+  CompiledOp compiled = compile(op, cfg);
+  const OptimizedOperator& tuned = compiled.handle();
 
   std::printf("operator:        %s\n", op.name().c_str());
   std::printf("schedule space:  %lld strategies, %lld valid after pruning\n",
@@ -34,8 +35,9 @@ int main(int argc, char** argv) {
               tuned.candidate.strategy.to_string().c_str());
   std::printf("tuning took:     %.3f s\n", tuned.stats.seconds);
 
-  // 3. Validate against the naive reference.
-  const double err = tuned.check_output();
+  // 3. Run functionally and validate against the naive reference.
+  const rt::RunResult r = compiled.run();
+  const double err = compiled.check();
 
   std::printf("\nsimulated execution:\n");
   std::printf("  cycles:        %.0f\n", r.cycles);

@@ -7,7 +7,7 @@
 #include <cstdlib>
 
 #include "baseline/swdnn_conv.hpp"
-#include "core/swatop.hpp"
+#include "graph/compile.hpp"
 #include "ir/printer.hpp"
 #include "nets/nets.hpp"
 #include "ops/implicit_conv.hpp"
@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   ops::ImplicitConvOp op(shape);
   SwatopConfig cfg;
   cfg.measure_best = true;  // also run the winner through the interpreter
-  Optimizer optimizer(cfg);
-  const OptimizedOperator tuned = optimizer.optimize(op);
+  CompiledOp compiled = compile(op, cfg);
+  const OptimizedOperator& tuned = compiled.handle();
   const double swatop_cycles = tuned.measured_cycles;
   std::printf("\nswATOP: %lld-strategy space tuned in %.2f s\n",
               static_cast<long long>(tuned.stats.space_size),
@@ -33,11 +33,11 @@ int main(int argc, char** argv) {
   std::printf("picked: %s\n", tuned.candidate.strategy.to_string().c_str());
   std::printf("measured: %.0f cycles = %.1f GFLOPS\n", swatop_cycles,
               static_cast<double>(shape.flops()) / swatop_cycles *
-                  optimizer.machine().clock_ghz);
+                  compiled.config().machine.clock_ghz);
 
   if (baseline::SwDnnConv::applicable(shape)) {
     const double manual =
-        baseline::SwDnnConv(optimizer.machine()).cycles(shape);
+        baseline::SwDnnConv(compiled.config().machine).cycles(shape);
     std::printf("swDNN manual schedule: %.0f cycles -> swATOP speedup "
                 "%.2fx\n",
                 manual, manual / swatop_cycles);

@@ -204,13 +204,24 @@ OpSpec draw_spec(std::mt19937_64& rng, const FuzzOptions& opts) {
           rng)];
   spec.d = std::move(d);
   if (spec.kind == "winograd") spec.d.push_back(2);  // F(2x2) tile
+  if (opts.fused && spec.kind == "implicit_conv") {
+    // A non-empty random epilogue: any of the 15 bias/residual/relu/pad
+    // combinations, so every fused store-path variant gets swept.
+    const int mask = std::uniform_int_distribution<int>(1, 15)(rng);
+    spec.epi.bias = (mask & 1) != 0;
+    spec.epi.residual = (mask & 2) != 0;
+    spec.epi.relu = (mask & 4) != 0;
+    spec.epi.out_pad = (mask & 8) != 0 ? pick(rng, {1, 1, 2}) : 0;
+  }
   return spec;
 }
 
 }  // namespace
 
 std::string OpSpec::to_string() const {
-  std::string out = kind + ":";
+  std::string out = kind;
+  if (epi.any()) out += "+" + epi.tag();
+  out += ":";
   for (std::size_t i = 0; i < d.size(); ++i) {
     if (i > 0) out += ",";
     out += std::to_string(d[i]);
@@ -218,11 +229,48 @@ std::string OpSpec::to_string() const {
   return out;
 }
 
+namespace {
+
+/// Decode dsl::EpilogueSpec::tag() ("bar", "p1", "bar,p2", ...). Strict:
+/// flags must appear in tag order, the pad token last.
+std::optional<dsl::EpilogueSpec> parse_epi_tag(const std::string& tag) {
+  dsl::EpilogueSpec e;
+  std::size_t i = 0;
+  if (i < tag.size() && tag[i] == 'b') { e.bias = true; ++i; }
+  if (i < tag.size() && tag[i] == 'a') { e.residual = true; ++i; }
+  if (i < tag.size() && tag[i] == 'r') { e.relu = true; ++i; }
+  if (i < tag.size()) {
+    if (e.compute()) {
+      if (tag[i] != ',') return std::nullopt;
+      ++i;
+    }
+    if (i >= tag.size() || tag[i] != 'p') return std::nullopt;
+    try {
+      std::size_t used = 0;
+      e.out_pad = std::stoll(tag.substr(i + 1), &used);
+      if (i + 1 + used != tag.size() || e.out_pad <= 0) return std::nullopt;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (!e.any()) return std::nullopt;
+  return e;
+}
+
+}  // namespace
+
 std::optional<OpSpec> OpSpec::parse(const std::string& text) {
   const std::size_t colon = text.find(':');
   if (colon == std::string::npos || colon == 0) return std::nullopt;
   OpSpec spec;
   spec.kind = text.substr(0, colon);
+  if (const std::size_t plus = spec.kind.find('+');
+      plus != std::string::npos) {
+    const auto epi = parse_epi_tag(spec.kind.substr(plus + 1));
+    if (!epi || plus == 0) return std::nullopt;
+    spec.epi = *epi;
+    spec.kind = spec.kind.substr(0, plus);
+  }
   std::istringstream is(text.substr(colon + 1));
   std::string tok;
   while (std::getline(is, tok, ',')) {
@@ -240,6 +288,8 @@ std::optional<OpSpec> OpSpec::parse(const std::string& text) {
 }
 
 std::unique_ptr<dsl::OperatorDef> make_op(const OpSpec& spec) {
+  // Only the implicit-GEMM design lowers a fused epilogue.
+  if (spec.epi.any() && spec.kind != "implicit_conv") return nullptr;
   if (spec.kind == "matmul") {
     if (spec.d.size() != 3 || spec.d[0] <= 0 || spec.d[1] <= 0 ||
         spec.d[2] <= 0)
@@ -257,7 +307,7 @@ std::unique_ptr<dsl::OperatorDef> make_op(const OpSpec& spec) {
   }
   if (spec.kind == "implicit_conv") {
     if (!ops::ImplicitConvOp::applicable(s)) return nullptr;
-    return std::make_unique<ops::ImplicitConvOp>(s);
+    return std::make_unique<ops::ImplicitConvOp>(s, spec.epi);
   }
   if (winograd) {
     if (!ops::WinogradPlan::applicable(s)) return nullptr;

@@ -23,9 +23,13 @@ namespace swatop::check {
 ///   implicit_conv, explicit_conv, bwd_data, bwd_filter
 ///                 d = {batch, ni, no, ri, ci, kr, kc, stride}
 ///   winograd      d = {batch, ni, no, ri, ci, kr, kc, stride, m}
+/// An implicit conv may additionally carry a fused epilogue, written as a
+/// `+tag` suffix on the kind ("implicit_conv+bar,p1" = bias + residual +
+/// relu with output pad 1 -- dsl::EpilogueSpec::tag()).
 struct OpSpec {
   std::string kind;
   std::vector<std::int64_t> d;
+  dsl::EpilogueSpec epi;  ///< implicit_conv only; default = unfused
 
   /// "matmul:72,40,24" -- the --op argument of tools/fuzz_schedules.
   std::string to_string() const;
@@ -47,6 +51,10 @@ struct FuzzOptions {
   bool sanitize = true;       ///< arm the simulator sanitizers
   bool matmul = true;         ///< draw GEMM shapes
   bool conv = true;           ///< draw convolution shapes
+  /// Stamp a random fused epilogue (bias / residual / relu / out_pad) onto
+  /// every implicit-conv draw, so fused candidates sweep the same schedule
+  /// space, sanitizers and reference diff as unfused ones.
+  bool fused = false;
   /// Optional progress sink (one line per shape); null = silent.
   std::function<void(const std::string&)> log;
 };

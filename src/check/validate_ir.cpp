@@ -108,6 +108,17 @@ void walk(const ir::StmtPtr& s, Ctx& c) {
       if (s->dma.view.tensor.empty())
         c.error(std::string(who) + " of buffer '" + s->dma.spm_buf +
                 "' has no main-memory tensor");
+      if (s->dma.epi.any()) {
+        if (s->kind == ir::StmtKind::DmaGet)
+          c.error("DmaGet of buffer '" + s->dma.spm_buf +
+                  "' carries a fused epilogue (only a GEMM output put may)");
+        if (s->dma.epi.bias && s->dma.epi.channel0 == nullptr)
+          c.error("epilogue bias on buffer '" + s->dma.spm_buf +
+                  "' without a channel0 expression");
+        if (s->dma.epi.residual && s->dma.epi.res.tensor.empty())
+          c.error("epilogue residual on buffer '" + s->dma.spm_buf +
+                  "' without a residual tensor view");
+      }
       if (s->dma.reply == nullptr) {
         c.error(std::string(who) + " of buffer '" + s->dma.spm_buf +
                 "' has no reply slot expression");

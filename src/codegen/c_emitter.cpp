@@ -100,6 +100,24 @@ class Emitter {
       case ir::StmtKind::DmaGet:
       case ir::StmtKind::DmaPut: {
         const ir::DmaAttrs& d = s->dma;
+        if (s->kind == ir::StmtKind::DmaPut && d.epi.any()) {
+          // Fused elementwise tail on the SPM tile before it drains.
+          os_ << pad << "spm_epilogue(" << d.spm_buf << " + "
+              << emit_expr(d.spm_off) << ", /*tile=*/" << emit_expr(d.rows_p)
+              << ", " << emit_expr(d.cols_p) << ",\n"
+              << pad << "    /*bias=*/"
+              << (d.epi.bias ? "bias + " + emit_expr(d.epi.channel0)
+                             : std::string("0"))
+              << ", /*channels_on_rows=*/"
+              << (d.epi.channels_on_rows ? 1 : 0) << ",\n"
+              << pad << "    /*res=*/"
+              << (d.epi.residual
+                      ? d.epi.res.tensor + " + " + emit_expr(d.epi.res.base)
+                      : std::string("0"))
+              << ", /*res_stride_r=*/" << d.epi.res.stride_r
+              << ", /*res_stride_c=*/" << d.epi.res.stride_c
+              << ", /*relu=*/" << (d.epi.relu ? 1 : 0) << ");\n";
+        }
         const char* fn =
             s->kind == ir::StmtKind::DmaGet ? "swDMA_get_2d" : "swDMA_put_2d";
         os_ << pad << fn << "(" << d.view.tensor << " + "
@@ -172,12 +190,17 @@ std::string emit_c(const ir::StmtPtr& root, const EmitOptions& opts) {
      << "  swReplyWord reply[" << ir::kMaxReplySlots << "];\n";
   // Tensor pointers: every tensor mentioned by a DMA node.
   std::vector<std::string> tensors;
+  auto add_tensor = [&](const std::string& t) {
+    if (t.empty()) return;
+    for (const std::string& seen : tensors)
+      if (seen == t) return;
+    tensors.push_back(t);
+  };
   ir::visit(root, [&](const ir::StmtPtr& n) {
     if (n->kind == ir::StmtKind::DmaGet || n->kind == ir::StmtKind::DmaPut) {
-      bool seen = false;
-      for (const std::string& t : tensors)
-        seen = seen || t == n->dma.view.tensor;
-      if (!seen) tensors.push_back(n->dma.view.tensor);
+      add_tensor(n->dma.view.tensor);
+      if (n->dma.epi.bias) add_tensor("bias");
+      if (n->dma.epi.residual) add_tensor(n->dma.epi.res.tensor);
     }
   });
   for (const std::string& t : tensors)

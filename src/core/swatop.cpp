@@ -10,8 +10,11 @@ namespace swatop {
 
 rt::RunResult OptimizedOperator::run(sim::CoreGroup& cg,
                                      const dsl::BoundTensors& bt,
-                                     sim::ExecMode mode) const {
+                                     sim::ExecMode mode,
+                                     const rt::ResidentSet* resident) const {
   rt::Interpreter interp(cg, mode);
+  if (resident != nullptr && !resident->empty())
+    interp.set_resident(resident);
   return interp.run(candidate.program, bt);
 }
 

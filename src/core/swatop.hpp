@@ -1,17 +1,27 @@
-// swATOP public API: describe an operator (ops/ provides matmul and the
-// three convolution designs, or implement dsl::OperatorDef for your own),
-// call Optimizer::optimize, and get back a tuned schedule, the generated C
-// source for SW26010, and a handle that owns everything needed to run it.
+// swATOP low-level optimizer API: describe an operator (ops/ provides
+// matmul and the three convolution designs, or implement dsl::OperatorDef
+// for your own), call Optimizer::optimize, and get back a tuned schedule,
+// the generated C source for SW26010, and a handle that owns everything
+// needed to run it.
+//
+// NOTE: this header is the implementation layer underneath
+// swatop::compile() (graph/compile.hpp), which is the preferred front door
+// for new code -- it owns the tuning journal, runs the graph-level fusion
+// and SPM-residency passes, and keeps reports glued to the runs that
+// produced them. Optimizer / OptimizedOperator::execute /
+// optimize_and_run remain supported for callers that need the low-level
+// surface (caller-owned core groups, manual tensor binding, per-candidate
+// control), and compile() is implemented on top of them.
 //
 //   swatop::SwatopConfig cfg;
 //   swatop::ops::MatmulOp op(512, 512, 512);
-//   auto [tuned, result] = swatop::optimize_and_run(cfg, op);
-//   // or, step by step:
+//   auto compiled = swatop::compile(op, cfg);     // preferred
+//   // or, step by step on this layer:
 //   swatop::Optimizer opt(cfg);
 //   auto tuned = opt.optimize(op);
 //   auto result = tuned.execute(sim::ExecMode::Functional);
 //
-// The one-call path owns the core group, tensor binding and input fill
+// The one-call paths own the core group, tensor binding and input fill
 // internally; the pre-existing low-level entry points (bind_tensors +
 // OptimizedOperator::run on a caller-owned core group) keep working for
 // callers that manage memory themselves.
@@ -140,8 +150,11 @@ class OptimizedOperator {
   std::int64_t flops() const;
 
   /// Low-level entry point: run on a caller-owned core group and binding.
+  /// `resident` (optional) pins operand tensors on-chip for the run -- the
+  /// graph engine's inter-layer SPM residency (see rt::ResidentSet).
   rt::RunResult run(sim::CoreGroup& cg, const dsl::BoundTensors& bt,
-                    sim::ExecMode mode) const;
+                    sim::ExecMode mode,
+                    const rt::ResidentSet* resident = nullptr) const;
 
  private:
   friend class Optimizer;
@@ -181,6 +194,10 @@ class Optimizer {
 };
 
 /// The whole pipeline in one call: tune, generate code, execute.
+/// Prefer swatop::compile(op, cfg) (graph/compile.hpp) in new code: the
+/// compiled handle additionally owns the tuning journal and keeps
+/// check()/report() attached to the run. This shim remains for existing
+/// callers and costs nothing extra.
 struct RunOutcome {
   OptimizedOperator optimized;
   rt::RunResult result;

@@ -32,6 +32,7 @@ std::string Strategy::to_string() const {
   for (const auto& [k, v] : choices_) keys.push_back(k);
   std::sort(keys.begin(), keys.end());
   for (const auto& k : keys) os << k << "=" << choices_.at(k) << " ";
+  if (epilogue_.any()) os << "epi=" << epilogue_.tag() << " ";
   std::string s = os.str();
   if (!s.empty()) s.pop_back();
   return s;
@@ -47,6 +48,11 @@ std::string Strategy::serialize() const {
   for (const auto& [k, v] : choices_) keys.push_back(k);
   std::sort(keys.begin(), keys.end());
   for (const auto& k : keys) os << "c:" << k << "=" << choices_.at(k) << " ";
+  // Epilogue fields, only when non-default, in a fixed (sorted) order.
+  if (epilogue_.bias) os << "e:bias=1 ";
+  if (epilogue_.out_pad > 0) os << "e:pad=" << epilogue_.out_pad << " ";
+  if (epilogue_.relu) os << "e:relu=1 ";
+  if (epilogue_.residual) os << "e:res=1 ";
   std::string s = os.str();
   if (!s.empty()) s.pop_back();
   return s;
@@ -57,23 +63,40 @@ std::optional<Strategy> Strategy::parse(const std::string& text) {
   std::istringstream is(text);
   std::string tok;
   while (is >> tok) {
-    // Token shape: ("f:"|"c:") name "=" value.
-    if (tok.size() < 4 || tok[1] != ':' || (tok[0] != 'f' && tok[0] != 'c'))
+    // Token shape: ("f:"|"c:"|"e:") name "=" value.
+    if (tok.size() < 4 || tok[1] != ':' ||
+        (tok[0] != 'f' && tok[0] != 'c' && tok[0] != 'e'))
       return std::nullopt;
     const std::size_t eq = tok.find('=', 2);
     if (eq == std::string::npos || eq == 2 || eq + 1 >= tok.size())
       return std::nullopt;
     const std::string name = tok.substr(2, eq - 2);
     const std::string value = tok.substr(eq + 1);
-    if (tok[0] == 'f') {
-      errno = 0;
-      char* end = nullptr;
-      const long long v = std::strtoll(value.c_str(), &end, 10);
-      if (errno != 0 || end == value.c_str() || *end != '\0')
-        return std::nullopt;
-      out.set_factor(name, static_cast<std::int64_t>(v));
-    } else {
+    if (tok[0] == 'c') {
       out.set_choice(name, value);
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || *end != '\0')
+      return std::nullopt;
+    if (tok[0] == 'f') {
+      out.set_factor(name, static_cast<std::int64_t>(v));
+      continue;
+    }
+    // Epilogue field: known names only, flags must be exactly 1 (a default
+    // value is never serialized), pad must be positive.
+    if (name == "bias" && v == 1) {
+      out.epilogue_.bias = true;
+    } else if (name == "relu" && v == 1) {
+      out.epilogue_.relu = true;
+    } else if (name == "res" && v == 1) {
+      out.epilogue_.residual = true;
+    } else if (name == "pad" && v > 0) {
+      out.epilogue_.out_pad = v;
+    } else {
+      return std::nullopt;
     }
   }
   return out;
@@ -104,6 +127,7 @@ std::vector<Strategy> ScheduleSpace::enumerate(
     const std::function<bool(const Strategy&)>& valid) const {
   std::vector<Strategy> out;
   Strategy cur;
+  cur.set_epilogue(epilogue_);
   // Recursive cartesian product over factors then choices.
   std::function<void(std::size_t)> rec_choice = [&](std::size_t ci) {
     if (ci == choices_.size()) {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dsl/epilogue.hpp"
 #include "ir/node.hpp"
 #include "sim/core_group.hpp"
 
@@ -53,13 +54,21 @@ class Strategy {
     return factors_.count(name) > 0;
   }
 
+  /// The elementwise tail fused into the store path (default: none). Set by
+  /// ScheduleSpace::enumerate on every strategy of a fused operator so the
+  /// epilogue participates in the cache key and the serialize round-trip.
+  void set_epilogue(const EpilogueSpec& e) { epilogue_ = e; }
+  const EpilogueSpec& epilogue() const { return epilogue_; }
+
   std::string to_string() const;
 
   /// Round-trippable text form for the schedule cache: sorted
   /// `f:<name>=<int>` / `c:<name>=<option>` tokens separated by single
   /// spaces (variable names and options never contain whitespace, ':' or
-  /// '='). Unlike to_string(), the kind tag makes factors and choices
-  /// unambiguous -- a choice option may itself look numeric ("variant=0").
+  /// '='), followed by `e:<field>=<int>` tokens for any non-default
+  /// epilogue field (bias/res/relu/pad). Unlike to_string(), the kind tag
+  /// makes factors and choices unambiguous -- a choice option may itself
+  /// look numeric ("variant=0").
   std::string serialize() const;
 
   /// Inverse of serialize(). Returns nullopt on malformed input (unknown
@@ -68,7 +77,8 @@ class Strategy {
   static std::optional<Strategy> parse(const std::string& text);
 
   friend bool operator==(const Strategy& a, const Strategy& b) {
-    return a.factors_ == b.factors_ && a.choices_ == b.choices_;
+    return a.factors_ == b.factors_ && a.choices_ == b.choices_ &&
+           a.epilogue_ == b.epilogue_;
   }
   friend bool operator!=(const Strategy& a, const Strategy& b) {
     return !(a == b);
@@ -77,12 +87,18 @@ class Strategy {
  private:
   std::unordered_map<std::string, std::int64_t> factors_;
   std::unordered_map<std::string, std::string> choices_;
+  EpilogueSpec epilogue_;
 };
 
 class ScheduleSpace {
  public:
   void add(FactorVar f);
   void add(ChoiceVar c);
+
+  /// Stamp every enumerated strategy with a fused epilogue (fused operators
+  /// call this from space() so the epilogue is part of each candidate).
+  void set_epilogue(const EpilogueSpec& e) { epilogue_ = e; }
+  const EpilogueSpec& epilogue() const { return epilogue_; }
 
   const std::vector<FactorVar>& factors() const { return factors_; }
   const std::vector<ChoiceVar>& choices() const { return choices_; }
@@ -97,6 +113,7 @@ class ScheduleSpace {
  private:
   std::vector<FactorVar> factors_;
   std::vector<ChoiceVar> choices_;
+  EpilogueSpec epilogue_;
 };
 
 /// A main-memory tensor the operator reads or writes.

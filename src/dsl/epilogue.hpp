@@ -1,0 +1,60 @@
+// Epilogue fusion descriptor (graph-level fusion, ROADMAP item 1).
+//
+// Whole-net traffic is dominated by the elementwise passes between convs:
+// bias, relu and residual-add each re-read and re-write the full activation
+// through priced DRAM DMA (swCaffe/swTVM close exactly this gap on Sunway
+// by fusing them into the producing kernel). An EpilogueSpec describes the
+// elementwise tail a conv/GEMM schedule absorbs into its C store path:
+// the CPE already holds the output tile in SPM, so applying
+// bias -> residual-add -> relu there costs a handful of vector ops instead
+// of three full-tensor round trips.
+//
+// The spec rides on dsl::Strategy (so fused candidates flow through the
+// scheduler, tuner, IR validator and fuzzer unchanged) and on the fused
+// graph::Node. `out_pad` additionally absorbs a following Pad node by
+// storing the tile at the padded offsets of a pre-zeroed output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace swatop::dsl {
+
+struct EpilogueSpec {
+  bool bias = false;       ///< add per-output-channel bias
+  bool residual = false;   ///< add a same-shape residual tensor ("res")
+  bool relu = false;       ///< max(x, 0) last
+  std::int64_t out_pad = 0;  ///< store into a zero-padded output border
+
+  /// Any fusion at all (including pad-only).
+  bool any() const { return bias || residual || relu || out_pad > 0; }
+  /// Elementwise compute on the stored tile (pad-only changes addressing,
+  /// not values).
+  bool compute() const { return bias || residual || relu; }
+
+  /// Compact tag for operator names / cache keys, e.g. "bar,p1" for
+  /// bias+add+relu with pad 1; empty when no fusion.
+  std::string tag() const {
+    if (!any()) return {};
+    std::string t;
+    if (bias) t += 'b';
+    if (residual) t += 'a';
+    if (relu) t += 'r';
+    if (out_pad > 0) {
+      if (!t.empty()) t += ',';
+      t += 'p' + std::to_string(out_pad);
+    }
+    return t;
+  }
+
+  friend bool operator==(const EpilogueSpec& x, const EpilogueSpec& y) {
+    return x.bias == y.bias && x.residual == y.residual &&
+           x.relu == y.relu && x.out_pad == y.out_pad;
+  }
+  friend bool operator!=(const EpilogueSpec& x, const EpilogueSpec& y) {
+    return !(x == y);
+  }
+};
+
+}  // namespace swatop::dsl

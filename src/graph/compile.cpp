@@ -1,0 +1,104 @@
+#include "graph/compile.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace swatop {
+
+// ---------------------------------------------------------------- CompiledOp
+
+CompiledOp::CompiledOp(const dsl::OperatorDef& op, SwatopConfig cfg)
+    : op_(&op) {
+  if (!cfg.journal) {
+    owned_journal_ = std::make_unique<tune::Journal>();
+    cfg.journal = owned_journal_.get();
+  }
+  journal_ = cfg.journal;
+  optimizer_ = std::make_unique<Optimizer>(std::move(cfg));
+  opt_ = optimizer_->optimize(op);
+}
+
+rt::RunResult CompiledOp::run(sim::ExecMode mode) {
+  last_ = opt_.execute(mode);
+  ran_ = true;
+  return last_;
+}
+
+double CompiledOp::check() {
+  SWATOP_CHECK(ran_) << "CompiledOp::check() before the first run()";
+  return opt_.check_output();
+}
+
+std::string CompiledOp::report() const {
+  char buf[256];
+  std::string s;
+  s += "== " + op_->name() + " ==\n";
+  s += "strategy:  " + opt_.candidate.strategy.serialize() + "\n";
+  std::snprintf(buf, sizeof(buf), "predicted: %.0f cycles%s\n",
+                opt_.predicted_cycles,
+                opt_.from_cache ? "  (schedule cache hit)" : "");
+  s += buf;
+  if (opt_.measured_cycles > 0.0) {
+    std::snprintf(buf, sizeof(buf), "measured:  %.0f cycles (tuning)\n",
+                  opt_.measured_cycles);
+    s += buf;
+  }
+  if (ran_) {
+    std::snprintf(buf, sizeof(buf),
+                  "last run:  %.0f cycles, %.1f GFLOPS\n", last_.cycles,
+                  last_.gflops(opt_.flops(), config().machine));
+    s += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "journal:   %zu candidate rows\n",
+                journal_->size());
+  s += buf;
+  return s;
+}
+
+CompiledOp compile(const dsl::OperatorDef& op, SwatopConfig cfg) {
+  return CompiledOp(op, std::move(cfg));
+}
+
+// --------------------------------------------------------------- CompiledNet
+
+CompiledNet::CompiledNet(graph::Graph g, SwatopConfig cfg)
+    : graph_(std::move(g)) {
+  if (!cfg.journal) {
+    owned_journal_ = std::make_unique<tune::Journal>();
+    cfg.journal = owned_journal_.get();
+  }
+  journal_ = cfg.journal;
+  engine_ = std::make_unique<graph::GraphEngine>(std::move(cfg));
+}
+
+graph::NetRunResult CompiledNet::run(std::int64_t batch,
+                                     const graph::NetOptions& opts) {
+  last_ = engine_->run(graph_, batch, opts);
+  ran_ = true;
+  return last_;
+}
+
+const graph::NetRunResult& CompiledNet::result() const {
+  SWATOP_CHECK(ran_) << "CompiledNet::result() before the first run()";
+  return last_;
+}
+
+std::string CompiledNet::report(graph::NetReportOptions o) const {
+  SWATOP_CHECK(ran_) << "CompiledNet::report() before the first run()";
+  if (!o.journal) o.journal = journal_;
+  return graph::net_report(last_, config().machine, o);
+}
+
+std::string CompiledNet::report_json(graph::NetReportOptions o) const {
+  SWATOP_CHECK(ran_) << "CompiledNet::report_json() before the first run()";
+  if (!o.journal) o.journal = journal_;
+  return graph::net_report_json(last_, config().machine, o);
+}
+
+CompiledNet compile(graph::Graph g, SwatopConfig cfg) {
+  return CompiledNet(std::move(g), std::move(cfg));
+}
+
+}  // namespace swatop

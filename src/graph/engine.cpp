@@ -63,8 +63,11 @@ struct TunedConv {
   OptimizedOperator handle;
 };
 
-std::string shape_key(ConvMethod m, const ops::ConvShape& s) {
-  return std::string(conv_method_name(m)) + "|" + s.to_string();
+std::string shape_key(ConvMethod m, const ops::ConvShape& s,
+                      const dsl::EpilogueSpec& epi = {}) {
+  std::string key = std::string(conv_method_name(m)) + "|" + s.to_string();
+  if (epi.any()) key += "|epi[" + epi.tag() + "]";
+  return key;
 }
 
 /// Price an MPE-side elementwise pass: streaming DMA traffic (Eq. (1)
@@ -97,6 +100,7 @@ struct GroupState {
   sim::MainMemory::Addr arena = 0;
   std::unordered_map<std::string, sim::MainMemory::Addr> waddr;
   std::unordered_map<std::string, sim::MainMemory::Addr> uaddr;  // winograd
+  std::unordered_map<std::string, sim::MainMemory::Addr> baddr;  // fused bias
   sim::CgStats agg;
 };
 
@@ -114,11 +118,27 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
   g.validate_or_throw();
   const bool functional = opts.mode == sim::ExecMode::Functional;
 
-  const std::vector<int> order = g.topo_order();
-  const auto shapes = g.shapes();
+  NetRunResult res;
+
+  // Epilogue fusion: rewrite the graph before tuning. Only layers the
+  // implicit-GEMM design applies to are fused (the in-kernel epilogue is a
+  // store-path feature of that lowering); the reference check below always
+  // runs on the *original* graph, so fusion is verified end-to-end.
+  Graph fused_graph("");
+  const Graph* gp = &g;
+  if (opts.fusion) {
+    fused_graph = fuse_epilogues(g, &res.fusion, [&](const Node& n) {
+      return resolve_method(opts.method, g.conv_shape(n, batch)) ==
+             ConvMethod::Implicit;
+    });
+    gp = &fused_graph;
+  }
+  const Graph& fg = *gp;
+
+  const std::vector<int> order = fg.topo_order();
+  const auto shapes = fg.shapes();
   const int steps = static_cast<int>(order.size());
 
-  NetRunResult res;
   res.batch = batch;
   const int G = static_cast<int>(
       std::min<std::int64_t>(opts.groups, batch));
@@ -134,24 +154,47 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     }
   }
 
+  // Inter-layer SPM residency: pin qualifying tensors on-chip between
+  // adjacent steps. Conv-adjacent tensors must fit half a core group's
+  // aggregate SPM (the other half stays with the kernels' tile buffers)
+  // at the largest sub-batch, and only implicit-GEMM layers qualify --
+  // their get/put paths are what the elision models.
+  ResidencyPlan rplan;
+  if (opts.residency) {
+    ResidencyOptions ro;
+    ro.batch = gs[0].batch;
+    ro.conv_budget_floats = cfg_.machine.spm_floats() *
+                            cfg_.machine.mesh_rows *
+                            cfg_.machine.mesh_cols / 2;
+    ro.conv_ok = [&](const Node& n) {
+      return resolve_method(opts.method, fg.conv_shape(n, gs[0].batch)) ==
+             ConvMethod::Implicit;
+    };
+    rplan = plan_residency(fg, ro);
+  }
+  res.resident_tensors = static_cast<std::int64_t>(rplan.resident.size());
+
   // --- Tune every distinct (method, shape, sub-batch) exactly once, warm
   // through the schedule cache. ---
   Optimizer optimizer(cfg_);
   std::unordered_map<std::string, TunedConv> tuned;
   const auto tune_t0 = std::chrono::steady_clock::now();
   for (int idx : order) {
-    const Node& n = g.nodes()[static_cast<std::size_t>(idx)];
+    const Node& n = fg.nodes()[static_cast<std::size_t>(idx)];
     if (n.kind != NodeKind::Conv) continue;
     for (const GroupState& st : gs) {
-      const ops::ConvShape s = g.conv_shape(n, st.batch);
+      const ops::ConvShape s = fg.conv_shape(n, st.batch);
       const ConvMethod m = resolve_method(opts.method, s);
-      const std::string key = shape_key(m, s);
+      SWATOP_CHECK(!n.epilogue.any() || m == ConvMethod::Implicit)
+          << "fused conv '" << n.name << "' resolved to "
+          << conv_method_name(m);
+      const std::string key = shape_key(m, s, n.epilogue);
       if (tuned.count(key)) continue;
       TunedConv tc;
       tc.method = m;
       switch (m) {
         case ConvMethod::Implicit:
-          tc.op = std::make_unique<ops::ImplicitConvOp>(s);
+          tc.op = std::make_unique<ops::ImplicitConvOp>(s, n.epilogue);
           break;
         case ConvMethod::Explicit:
           tc.op = std::make_unique<ops::ExplicitConvOp>(s);
@@ -178,9 +221,9 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     GroupState& st = gs[static_cast<std::size_t>(gi)];
     std::vector<Transient> tr;
     for (int stp = 0; stp < steps; ++stp) {
-      const Node& n = g.nodes()[static_cast<std::size_t>(order[stp])];
+      const Node& n = fg.nodes()[static_cast<std::size_t>(order[stp])];
       if (n.kind != NodeKind::Conv) continue;
-      const ops::ConvShape s = g.conv_shape(n, st.batch);
+      const ops::ConvShape s = fg.conv_shape(n, st.batch);
       const ConvMethod m = resolve_method(opts.method, s);
       if (m == ConvMethod::Explicit) {
         const std::int64_t K = s.ni * s.kr * s.kc;
@@ -193,7 +236,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
         tr.push_back({n.name + ":Mt", p.T() * s.no * p.P, stp});
       }
     }
-    st.plan = plan_memory(g, st.batch, tr);
+    st.plan = plan_memory(fg, st.batch, tr);
     res.planned_peak_floats += st.plan.peak_floats;
     res.naive_floats += st.plan.naive_floats;
 
@@ -202,9 +245,9 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     st.arena = cg.mem().alloc(st.plan.peak_floats, "net:arena");
 
     for (int idx : order) {
-      const Node& n = g.nodes()[static_cast<std::size_t>(idx)];
+      const Node& n = fg.nodes()[static_cast<std::size_t>(idx)];
       if (n.kind != NodeKind::Conv) continue;
-      const ops::ConvShape s = g.conv_shape(n, st.batch);
+      const ops::ConvShape s = fg.conv_shape(n, st.batch);
       const ConvMethod m = resolve_method(opts.method, s);
       const std::int64_t Ni = s.ni, No = s.no;
       const std::int64_t K = Ni * s.kr * s.kc;
@@ -217,9 +260,16 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
           st.uaddr[n.name] = cg.mem().alloc(p.T() * No * Ni, n.name + ":U");
         }
       }
+      if (n.epilogue.bias) {
+        st.baddr[n.name] = cg.mem().alloc(No, n.name + ":bvec");
+        // Seeded by the *folded Bias node's* name: identical to the bias
+        // vector the unfused graph (and the host reference) applies.
+        if (functional)
+          cg.mem().copy_in(st.baddr.at(n.name), make_bias(n.bias_name, No));
+      }
       if (!functional) continue;
       const std::vector<float> w = make_weights(n.name, s);
-      const TunedConv& tc = tuned.at(shape_key(m, s));
+      const TunedConv& tc = tuned.at(shape_key(m, s, n.epilogue));
       if (m == ConvMethod::Implicit) {
         // Written in the tuned strategy's weight layout.
         const dsl::Strategy& str = tc.handle.candidate.strategy;
@@ -252,7 +302,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     }
 
     if (functional) {
-      for (const auto& [t, shape] : g.inputs()) {
+      for (const auto& [t, shape] : fg.inputs()) {
         auto v = cg.mem().view(st.arena + st.plan.entries.at(t).offset,
                                shape.floats(st.batch));
         fill_input(t, shape, st.batch, st.batch0, v.data());
@@ -270,7 +320,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
   double net_time = 0.0;
   const bool multi = G > 1;
   for (int stp = 0; stp < steps; ++stp) {
-    const Node& n = g.nodes()[static_cast<std::size_t>(order[stp])];
+    const Node& n = fg.nodes()[static_cast<std::size_t>(order[stp])];
     double step_max = 0.0;
     std::int64_t step_flops = 0;
     LayerReport lr;
@@ -285,11 +335,12 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
       };
       double cycles = 0.0;
       if (n.kind == NodeKind::Conv) {
-        const ops::ConvShape s = g.conv_shape(n, st.batch);
+        const ops::ConvShape s = fg.conv_shape(n, st.batch);
         const ConvMethod m = resolve_method(opts.method, s);
-        const TunedConv& tc = tuned.at(shape_key(m, s));
+        const TunedConv& tc = tuned.at(shape_key(m, s, n.epilogue));
         if (gi == 0) {
           lr.conv = true;
+          lr.fused = n.epilogue.any();
           lr.kind = conv_method_name(m);
           lr.from_cache = tc.handle.from_cache;
           lr.shape = s;
@@ -302,6 +353,8 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
           if (functional)
             cg.mem().fill(out, shapes.at(n.output).floats(st.batch), 0.0f);
           bt = {{"in", in}, {"w", st.waddr.at(n.name)}, {"out", out}};
+          if (n.epilogue.bias) bt["bias"] = st.baddr.at(n.name);
+          if (n.epilogue.residual) bt["res"] = addr(n.inputs[1]);
         } else if (m == ConvMethod::Explicit) {
           const std::int64_t N = s.batch * s.ro() * s.co();
           const sim::MainMemory::Addr dcol = addr(n.name + ":dcol");
@@ -323,10 +376,22 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
           }
           bt = {{"U", st.uaddr.at(n.name)}, {"V", V}, {"Mt", Mt}};
         }
+        // Inter-layer residency: operands the plan pinned on-chip, by the
+        // operator's own tensor names (implicit GEMM only -- the planner
+        // gates conv edges on the method).
+        rt::ResidentSet rs;
+        if (m == ConvMethod::Implicit) {
+          if (rplan.resident.count(n.inputs[0])) rs.tensors.insert("in");
+          if (rplan.resident.count(n.output)) rs.tensors.insert("out");
+          if (n.epilogue.residual && rplan.resident.count(n.inputs[1]))
+            rs.tensors.insert("res");
+        }
         // Interpreter::run resets the CG clock and statistics, so the
         // node's cycles are cg.now() afterwards and the pre/post charges
         // must come after the run.
-        tc.handle.run(cg, bt, opts.mode);
+        const rt::RunResult rr =
+            tc.handle.run(cg, bt, opts.mode, rs.empty() ? nullptr : &rs);
+        lr.dma_bytes_elided += rr.bytes_elided;
         if (m == ConvMethod::Explicit) {
           if (functional) {
             const std::int64_t Ro = s.ro(), Co = s.co(), B = s.batch;
@@ -353,6 +418,15 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
                                                    out, p);
           ops::WinogradGemmOp::charge_pre_post(cg, p);
         }
+        if (n.epilogue.out_pad > 0) {
+          // The fused kernel writes only the interior; the zero border is
+          // written once per run (an absorbed Pad's remaining cost).
+          const TensorShape& os2 = shapes.at(n.output);
+          const std::int64_t raw_hw = os2.hw - 2 * n.epilogue.out_pad;
+          const std::int64_t border =
+              (os2.hw * os2.hw - raw_hw * raw_hw) * os2.channels * st.batch;
+          charge_mpe_pass(cg, 0, border, 0.0);
+        }
         cycles = cg.now();
       } else {
         const double t0 = cg.now();
@@ -360,6 +434,19 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
         const TensorShape& os = shapes.at(n.output);
         const std::int64_t b = st.batch;
         const std::int64_t nin = is.floats(b), nout = os.floats(b);
+        // SPM residency: a resident operand's reload and a resident
+        // output's store never touch DRAM -- the tiles stay on-chip
+        // between this pass and its neighbour.
+        std::int64_t elide_read = 0, elide_write = 0;
+        for (const std::string& t : n.inputs)
+          if (rplan.resident.count(t)) elide_read += shapes.at(t).floats(b);
+        if (rplan.resident.count(n.output)) elide_write = nout;
+        lr.dma_bytes_elided += (elide_read + elide_write) * 4;
+        auto charge = [&](std::int64_t read_f, std::int64_t write_f,
+                          double mops) {
+          charge_mpe_pass(cg, read_f - elide_read, write_f - elide_write,
+                          mops);
+        };
         switch (n.kind) {
           case NodeKind::Bias: {
             if (functional) {
@@ -370,7 +457,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
               ops::reference_bias_add(dst.data(), bias.data(), os.hw,
                                       os.channels, os.hw, b);
             }
-            charge_mpe_pass(cg, nin, nout, static_cast<double>(nout));
+            charge(nin, nout, static_cast<double>(nout));
             break;
           }
           case NodeKind::Relu: {
@@ -380,7 +467,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
               std::copy(src.begin(), src.end(), dst.begin());
               ops::reference_relu(dst.data(), nout);
             }
-            charge_mpe_pass(cg, nin, nout, static_cast<double>(nout));
+            charge(nin, nout, static_cast<double>(nout));
             break;
           }
           case NodeKind::MaxPool2x2: {
@@ -390,7 +477,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
               ops::reference_maxpool2x2(src.data(), dst.data(), is.hw,
                                         is.channels, is.hw, b);
             }
-            charge_mpe_pass(cg, nin, nout, 3.0 * static_cast<double>(nout));
+            charge(nin, nout, 3.0 * static_cast<double>(nout));
             break;
           }
           case NodeKind::Pad: {
@@ -400,7 +487,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
               ops::reference_pad(src.data(), dst.data(), is.hw, is.channels,
                                  is.hw, b, n.pad);
             }
-            charge_mpe_pass(cg, nin, nout, 0.0);
+            charge(nin, nout, 0.0);
             break;
           }
           case NodeKind::Add: {
@@ -411,7 +498,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
               ops::reference_eltwise_add(a.data(), b2.data(), dst.data(),
                                          nout);
             }
-            charge_mpe_pass(cg, 2 * nin, nout, static_cast<double>(nout));
+            charge(2 * nin, nout, static_cast<double>(nout));
             break;
           }
           case NodeKind::Conv: SWATOP_UNREACHABLE("handled above");
@@ -447,6 +534,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     if (lr.cycles > 0.0 && step_flops > 0)
       lr.gflops = static_cast<double>(step_flops) / lr.cycles *
                   cfg_.machine.clock_ghz;
+    res.dma_bytes_elided += lr.dma_bytes_elided;
     res.layers.push_back(std::move(lr));
   }
   res.cycles = net_time;
@@ -502,6 +590,7 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     c.dma.queue_wait_cycles = res.chip_stats.dma_queue_wait_cycles;
     c.dma.bytes_requested = res.chip_stats.dma_bytes_requested;
     c.dma.bytes_wasted = res.chip_stats.dma_bytes_wasted;
+    c.dma.bytes_elided = res.dma_bytes_elided;
     c.dma.transactions = res.chip_stats.dma_transactions;
     c.dma.transfers = res.chip_stats.dma_transfers;
     c.arena_planned_bytes = res.planned_peak_floats * 4;

@@ -13,6 +13,13 @@
 // barrier is charged per convolution launch -- the chip-level latency is
 // the per-step maximum over groups plus those barriers, which is what an
 // honest data-parallel deployment pays.
+//
+// NOTE: GraphEngine is the implementation layer underneath
+// swatop::compile(graph, cfg) (graph/compile.hpp), which is the preferred
+// front door for new code -- the CompiledNet handle owns the tuning
+// journal and glues report()/report_json() to the run that produced them.
+// Constructing a GraphEngine directly remains supported for callers that
+// re-run many graphs through one engine instance.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "core/swatop.hpp"
+#include "graph/fuse.hpp"
 #include "graph/graph.hpp"
 #include "graph/memory_plan.hpp"
 #include "obs/profile.hpp"
@@ -47,6 +55,14 @@ struct NetOptions {
   /// Max relative error (|diff| / max|ref| per output tensor) the check
   /// reports against; the result records the measured error either way.
   double tolerance = 1e-4;
+  /// Rewrite Conv -> Bias -> Add -> Relu -> Pad chains into fused conv
+  /// nodes (graph/fuse.hpp) before tuning; only layers the implicit-GEMM
+  /// design applies to are fused, the rest keep their MPE passes.
+  bool fusion = true;
+  /// Keep qualifying inter-layer tensors on-chip between adjacent MPE
+  /// passes (memory_plan.hpp plan_residency), eliding their DRAM
+  /// store/reload from the priced traffic.
+  bool residency = true;
 };
 
 /// One graph node's share of the network run.
@@ -54,6 +70,7 @@ struct LayerReport {
   std::string name;
   std::string kind;  ///< operator name (conv) or node kind (MPE passes)
   bool conv = false;
+  bool fused = false;       ///< conv carrying a fused epilogue
   bool from_cache = false;  ///< schedule served from the cache
   ops::ConvShape shape;     ///< conv only; batch = group 0's sub-batch
   double cycles = 0.0;      ///< slowest group's cycles, incl. NoC barrier
@@ -67,6 +84,9 @@ struct LayerReport {
   double sync_cycles = 0.0;  ///< NoC barrier share of `cycles` (chip-level)
   double group_cycles = 0.0; ///< sum over groups of busy (clocked) cycles
   sim::CgStats stats;        ///< summed over groups, this step only
+  /// DRAM bytes this step did NOT move thanks to SPM residency (summed
+  /// over groups); fused epilogues additionally shrink stats itself.
+  std::int64_t dma_bytes_elided = 0;
 };
 
 struct NetRunResult {
@@ -88,6 +108,12 @@ struct NetRunResult {
   // Memory plan, summed over groups.
   std::int64_t planned_peak_floats = 0;
   std::int64_t naive_floats = 0;
+
+  // Fusion + residency: what the passes rewrote and what traffic the
+  // residency elisions removed (fused epilogues shrink chip_stats itself).
+  FusionStats fusion;
+  std::int64_t resident_tensors = 0;
+  std::int64_t dma_bytes_elided = 0;
 
   // Tuning.
   std::int64_t shapes_tuned = 0;  ///< distinct (method, shape) tuned

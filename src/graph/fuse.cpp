@@ -1,0 +1,117 @@
+#include "graph/fuse.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace swatop::graph {
+
+namespace {
+
+/// Index of the sole consumer of `t`, or -1 when `t` has any other fate
+/// (multiple consumers, none, or it is a network output).
+int sole_consumer(const std::string& t,
+                  const std::unordered_map<std::string, std::vector<int>>&
+                      consumers,
+                  const std::unordered_set<std::string>& outputs) {
+  if (outputs.count(t)) return -1;
+  auto it = consumers.find(t);
+  if (it == consumers.end() || it->second.size() != 1) return -1;
+  return it->second.front();
+}
+
+}  // namespace
+
+Graph fuse_epilogues(const Graph& g, FusionStats* stats,
+                     const FusePredicate& fusible) {
+  g.validate_or_throw();
+  const auto shapes = g.shapes();
+  const std::vector<Node>& nodes = g.nodes();
+
+  std::unordered_map<std::string, std::vector<int>> consumers;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (const std::string& t : nodes[i].inputs)
+      consumers[t].push_back(static_cast<int>(i));
+  std::unordered_set<std::string> outputs;
+  for (const std::string& t : g.outputs()) outputs.insert(t);
+
+  FusionStats st;
+  st.nodes_before = static_cast<int>(nodes.size());
+
+  Graph out(g.name());
+  for (const auto& [t, shape] : g.inputs()) out.add_input(t, shape);
+
+  std::vector<bool> absorbed(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (absorbed[i]) continue;
+    const Node& n = nodes[i];
+    if (n.kind != NodeKind::Conv || n.epilogue.any() ||
+        (fusible && !fusible(n))) {
+      out.add(n);
+      continue;
+    }
+
+    Node fused = n;
+    std::vector<int> chain;
+    std::string cur = n.output;
+    auto next_is = [&](NodeKind k) {
+      const int j = sole_consumer(cur, consumers, outputs);
+      return (j >= 0 && nodes[static_cast<std::size_t>(j)].kind == k &&
+              !absorbed[static_cast<std::size_t>(j)])
+                 ? j
+                 : -1;
+    };
+    auto absorb = [&](int j) {
+      chain.push_back(j);
+      cur = nodes[static_cast<std::size_t>(j)].output;
+    };
+
+    if (int j = next_is(NodeKind::Bias); j >= 0) {
+      fused.epilogue.bias = true;
+      fused.bias_name = nodes[static_cast<std::size_t>(j)].name;
+      absorb(j);
+      ++st.bias_folded;
+    }
+    if (int j = next_is(NodeKind::Add); j >= 0) {
+      const Node& add = nodes[static_cast<std::size_t>(j)];
+      // The shortcut operand: whichever Add input isn't this chain. x + x
+      // (both inputs the chain) has no independent operand -- skip.
+      const std::string& other =
+          add.inputs[0] == cur ? add.inputs[1] : add.inputs[0];
+      if (other != cur && shapes.at(other) == shapes.at(n.output)) {
+        fused.epilogue.residual = true;
+        fused.inputs.push_back(other);
+        absorb(j);
+        ++st.add_folded;
+      }
+    }
+    if (int j = next_is(NodeKind::Relu); j >= 0) {
+      fused.epilogue.relu = true;
+      absorb(j);
+      ++st.relu_folded;
+    }
+    if (int j = next_is(NodeKind::Pad); j >= 0) {
+      const Node& pad = nodes[static_cast<std::size_t>(j)];
+      if (pad.pad > 0) {
+        fused.epilogue.out_pad = pad.pad;
+        absorb(j);
+        ++st.pad_folded;
+      }
+    }
+
+    if (chain.empty()) {
+      out.add(n);
+      continue;
+    }
+    for (int j : chain) absorbed[static_cast<std::size_t>(j)] = true;
+    fused.output = cur;  // the chain tail's tensor, downstream unchanged
+    out.add(std::move(fused));
+    ++st.convs_fused;
+  }
+
+  st.nodes_after = static_cast<int>(out.nodes().size());
+  if (stats) *stats = st;
+  return out;
+}
+
+}  // namespace swatop::graph

@@ -1,0 +1,56 @@
+// Graph-level epilogue fusion: rewrite Conv -> Bias -> Add -> Relu -> Pad
+// chains into a single Conv node carrying a dsl::EpilogueSpec, so the
+// elementwise tail runs inside the convolution kernel's store path instead
+// of as separate DRAM-streaming MPE passes. The pass is purely structural
+// -- the engine decides how a fused node executes -- and conservative:
+//
+//   * only the stages present are absorbed, in the fixed application order
+//     bias -> residual-add -> relu (a Relu already absorbed blocks a later
+//     Add, which would need add-after-relu semantics);
+//   * every absorbed intermediate tensor must have exactly one consumer and
+//     must not be a network output (other consumers would observe a tensor
+//     that no longer exists);
+//   * a residual Add is only absorbed when the shortcut operand's shape
+//     equals the conv's raw output shape (Graph::validate re-checks this on
+//     the fused node);
+//   * a downstream Pad is absorbed as EpilogueSpec::out_pad: the fused conv
+//     writes its interior directly at the padded offsets and takes over the
+//     Pad node's output tensor.
+//
+// The fused node keeps the conv's name (its deterministic weights stay
+// identical) and records the folded Bias node's name in Node::bias_name so
+// the engine seeds the same deterministic bias vector.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace swatop::graph {
+
+struct FusionStats {
+  int convs_fused = 0;   ///< conv nodes that absorbed at least one stage
+  int bias_folded = 0;
+  int add_folded = 0;
+  int relu_folded = 0;
+  int pad_folded = 0;
+  int nodes_before = 0;
+  int nodes_after = 0;
+
+  int nodes_removed() const { return nodes_before - nodes_after; }
+};
+
+/// Which Conv nodes the caller can execute fused (e.g. the engine fuses
+/// only layers the implicit-GEMM design applies to). Null = every conv.
+using FusePredicate = std::function<bool(const Node&)>;
+
+/// Rewrite the graph with epilogues fused into their convolutions. The
+/// input graph must be valid; the result is valid by construction (and
+/// re-validated by the engine before running). Tensors other than absorbed
+/// single-consumer intermediates keep their names, so memory planning and
+/// reference checking line up with the unfused graph.
+Graph fuse_epilogues(const Graph& g, FusionStats* stats = nullptr,
+                     const FusePredicate& fusible = nullptr);
+
+}  // namespace swatop::graph

@@ -31,8 +31,12 @@ int Graph::add(Node n) {
 
 namespace {
 
-/// Expected input arity per node kind.
-std::size_t arity(NodeKind k) { return k == NodeKind::Add ? 2 : 1; }
+/// Expected input arity of a node: Add and fused residual convs take two.
+std::size_t arity(const Node& n) {
+  if (n.kind == NodeKind::Add) return 2;
+  if (n.kind == NodeKind::Conv && n.epilogue.residual) return 2;
+  return 1;
+}
 
 }  // namespace
 
@@ -54,7 +58,23 @@ bool Graph::infer(const Node& n, const std::vector<TensorShape>& in,
            << in[0].hw;
         return fail(os.str());
       }
-      *out = {in[0].hw - n.kernel + 1, n.channels_out};
+      if (n.epilogue.out_pad < 0) return fail("negative fused output pad");
+      const TensorShape raw = {in[0].hw - n.kernel + 1, n.channels_out};
+      if (n.epilogue.residual) {
+        // The fused residual-add must see a same-shape operand *here*,
+        // before the planner sizes arenas from the inferred shapes --
+        // otherwise the mismatch surfaces as an arena assert mid-run.
+        if (in.size() < 2)
+          return fail("fused residual epilogue without a second input");
+        if (in[1] != raw) {
+          std::ostringstream os;
+          os << "fused residual operand shape " << in[1].hw << "^2x"
+             << in[1].channels << " does not match the conv output "
+             << raw.hw << "^2x" << raw.channels;
+          return fail(os.str());
+        }
+      }
+      *out = {raw.hw + 2 * n.epilogue.out_pad, n.channels_out};
       return true;
     }
     case NodeKind::Bias:
@@ -104,10 +124,10 @@ std::vector<std::string> Graph::validate() const {
       problems.push_back("node '" + n.name + "' has no output tensor");
     else if (!producer.emplace(n.output, static_cast<int>(i)).second)
       problems.push_back("tensor '" + n.output + "' produced more than once");
-    if (n.inputs.size() != arity(n.kind)) {
+    if (n.inputs.size() != arity(n)) {
       std::ostringstream os;
       os << "node '" << n.name << "' (" << node_kind_name(n.kind)
-         << ") expects " << arity(n.kind) << " input(s), has "
+         << ") expects " << arity(n) << " input(s), has "
          << n.inputs.size();
       problems.push_back(os.str());
     }

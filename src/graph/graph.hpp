@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dsl/epilogue.hpp"
 #include "ops/conv_common.hpp"
 
 namespace swatop::graph {
@@ -54,11 +55,19 @@ struct Node {
   std::vector<std::string> inputs;  ///< consumed tensor names
   std::string output;               ///< produced tensor name
   /// Conv parameters (kind == Conv). The input is expected pre-padded (a
-  /// Pad node upstream), so out_hw = in_hw - kernel + 1.
+  /// Pad node upstream), so out_hw = in_hw - kernel + 1 (plus the fused
+  /// epilogue's output border when set).
   std::int64_t kernel = 0;
   std::int64_t channels_out = 0;
   /// Pad parameter (kind == Pad): zero border width on each side.
   std::int64_t pad = 0;
+  /// Fused elementwise tail (kind == Conv, written by fuse_epilogues):
+  /// bias / residual-add / relu applied in the conv's store path, plus an
+  /// absorbed output border. With epilogue.residual the node takes a second
+  /// input -- the residual operand, shaped like the *raw* conv output.
+  dsl::EpilogueSpec epilogue;
+  /// Name of the folded Bias node (seeds its deterministic weights).
+  std::string bias_name;
 };
 
 /// A directed network of Nodes over named tensors. Build with add_input /

@@ -143,4 +143,42 @@ MemoryPlan plan_memory(const Graph& g, std::int64_t batch,
   return plan;
 }
 
+ResidencyPlan plan_residency(const Graph& g, const ResidencyOptions& o) {
+  ResidencyPlan rp;
+  const std::vector<int> order = g.topo_order();
+  const auto shapes = g.shapes();
+  const std::vector<Node>& nodes = g.nodes();
+
+  std::unordered_map<std::string, int> consumer_count;
+  for (const Node& n : nodes)
+    for (const std::string& t : n.inputs) ++consumer_count[t];
+  std::unordered_set<std::string> outputs;
+  for (const std::string& t : g.outputs()) outputs.insert(t);
+
+  for (std::size_t stp = 0; stp + 1 < order.size(); ++stp) {
+    const Node& p = nodes[static_cast<std::size_t>(order[stp])];
+    const Node& c = nodes[static_cast<std::size_t>(order[stp + 1])];
+    if (outputs.count(p.output) || consumer_count[p.output] != 1) continue;
+    if (std::find(c.inputs.begin(), c.inputs.end(), p.output) ==
+        c.inputs.end())
+      continue;
+    const bool conv_edge =
+        p.kind == NodeKind::Conv || c.kind == NodeKind::Conv;
+    if (conv_edge) {
+      // The whole tensor is pinned across both steps: it must fit the SPM
+      // budget and every conv endpoint must pass the engine's gate.
+      if (o.conv_budget_floats <= 0) continue;
+      if (shapes.at(p.output).floats(o.batch) > o.conv_budget_floats)
+        continue;
+      if (o.conv_ok) {
+        if (p.kind == NodeKind::Conv && !o.conv_ok(p)) continue;
+        if (c.kind == NodeKind::Conv && !o.conv_ok(c)) continue;
+      }
+    }
+    rp.resident.insert(p.output);
+    rp.resident_floats_per_image += shapes.at(p.output).floats(1);
+  }
+  return rp;
+}
+
 }  // namespace swatop::graph

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -54,5 +56,40 @@ struct MemoryPlan {
 /// Throws swatop::CheckError when the graph is invalid.
 MemoryPlan plan_memory(const Graph& g, std::int64_t batch,
                        const std::vector<Transient>& transients = {});
+
+/// Inter-layer SPM residency: tensors that stay on-chip between the step
+/// that produces them and the *immediately following* step that consumes
+/// them, so their DRAM store (by the producer) and reload (by the
+/// consumer) are elided from the priced traffic. Two edge classes qualify,
+/// both requiring a single consumer and not a network output:
+///
+///  - MPE pass -> MPE pass: the passes stream tiles in lockstep, so any
+///    size qualifies (tiles hand over on-chip, never the whole tensor).
+///  - Edges touching a convolution: a tuned conv kernel addresses its
+///    operands tile-by-tile in arbitrary order, so the *whole* tensor must
+///    be pinned, distributed across the mesh's 64 SPMs, for the duration
+///    of both steps. Such an edge qualifies only when the tensor's
+///    per-group footprint fits `conv_budget_floats` (the engine passes
+///    half the aggregate SPM of a core group, leaving the other half to
+///    the kernels' tile buffers) and every conv endpoint passes `conv_ok`
+///    (the engine admits only implicit-GEMM layers, whose get/put paths
+///    the elision models).
+struct ResidencyPlan {
+  std::unordered_set<std::string> resident;
+  /// Per-batch-element floats of all resident tensors (reporting).
+  std::int64_t resident_floats_per_image = 0;
+};
+
+struct ResidencyOptions {
+  /// Aggregate-SPM floats (per core group) a conv-adjacent tensor may
+  /// occupy; 0 disables conv-edge pinning (MPE->MPE streaming only).
+  std::int64_t conv_budget_floats = 0;
+  /// Per-group sub-batch the footprints are evaluated at.
+  std::int64_t batch = 1;
+  /// Extra gate on conv endpoints (null: every conv qualifies).
+  std::function<bool(const Node&)> conv_ok;
+};
+
+ResidencyPlan plan_residency(const Graph& g, const ResidencyOptions& o = {});
 
 }  // namespace swatop::graph

@@ -65,6 +65,15 @@ std::vector<obs::RooflinePoint> net_roofline(const NetRunResult& r,
       "network", r.flops,
       r.chip_stats.dma_bytes_requested + r.chip_stats.dma_bytes_wasted,
       r.cycles * static_cast<double>(r.groups_used), m));
+  // With SPM residency active, also place the network at the traffic it
+  // would have paid without the elided transfers: the gap between the two
+  // points is the arithmetic-intensity gain residency bought.
+  if (r.dma_bytes_elided > 0)
+    pts.push_back(obs::roofline_place(
+        "network+elided", r.flops,
+        r.chip_stats.dma_bytes_requested + r.chip_stats.dma_bytes_wasted +
+            r.dma_bytes_elided,
+        r.cycles * static_cast<double>(r.groups_used), m));
   return pts;
 }
 
@@ -78,6 +87,23 @@ std::string net_report(const NetRunResult& r, const sim::SimConfig& machine,
                 r.cycles, r.groups_used, r.gflops, 100.0 * r.efficiency,
                 r.ms_per_batch);
   os << buf;
+  if (r.fusion.convs_fused > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "fusion:  %d conv(s) fused (bias %d, add %d, relu %d, pad "
+                  "%d), %d node(s) removed\n",
+                  r.fusion.convs_fused, r.fusion.bias_folded,
+                  r.fusion.add_folded, r.fusion.relu_folded,
+                  r.fusion.pad_folded, r.fusion.nodes_removed());
+    os << buf;
+  }
+  if (r.resident_tensors > 0 || r.dma_bytes_elided > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "residency: %lld tensor(s) pinned on-chip, %.1f MB DMA "
+                  "elided\n",
+                  static_cast<long long>(r.resident_tensors),
+                  static_cast<double>(r.dma_bytes_elided) / (1024.0 * 1024.0));
+    os << buf;
+  }
 
   if (o.layers) {
     std::snprintf(buf, sizeof buf, "\n  %-14s %-9s %12s %6s %7s %6s %6s %6s  %s\n",
@@ -105,11 +131,12 @@ std::string net_report(const NetRunResult& r, const sim::SimConfig& machine,
       }
       std::snprintf(buf, sizeof buf,
                     "  %-14s %-9s %12.0f %5.1f%% %7.1f %5.1f%% %5.1f%% "
-                    "%5.1f%%  %s%s\n",
+                    "%5.1f%%  %s%s%s\n",
                     lr.name.c_str(), lr.kind.c_str(), lr.cycles,
                     r.cycles > 0.0 ? 100.0 * lr.cycles / r.cycles : 0.0,
                     lr.gflops, 100.0 * kern, 100.0 * dma, 100.0 * idle,
-                    bound, lr.from_cache ? " (cached)" : "");
+                    bound, lr.fused ? " (fused)" : "",
+                    lr.from_cache ? " (cached)" : "");
       os << buf;
     }
   }
@@ -138,7 +165,15 @@ std::string net_report_json(const NetRunResult& r,
      << ", \"groups\": " << r.groups_used << ", \"batch\": " << r.batch
      << ", \"flops\": " << r.flops << ", \"gflops\": " << r.gflops
      << ", \"efficiency\": " << r.efficiency
-     << ", \"ms_per_batch\": " << r.ms_per_batch;
+     << ", \"ms_per_batch\": " << r.ms_per_batch
+     << ", \"fusion\": {\"convs_fused\": " << r.fusion.convs_fused
+     << ", \"bias_folded\": " << r.fusion.bias_folded
+     << ", \"add_folded\": " << r.fusion.add_folded
+     << ", \"relu_folded\": " << r.fusion.relu_folded
+     << ", \"pad_folded\": " << r.fusion.pad_folded
+     << ", \"nodes_removed\": " << r.fusion.nodes_removed() << "}"
+     << ", \"resident_tensors\": " << r.resident_tensors
+     << ", \"dma_bytes_elided\": " << r.dma_bytes_elided;
   if (o.layers) {
     os << ", \"layers\": [";
     bool first = true;
@@ -147,7 +182,9 @@ std::string net_report_json(const NetRunResult& r,
       first = false;
       os << "{\"name\": \"" << lr.name << "\", \"kind\": \"" << lr.kind
          << "\", \"conv\": " << (lr.conv ? "true" : "false")
+         << ", \"fused\": " << (lr.fused ? "true" : "false")
          << ", \"from_cache\": " << (lr.from_cache ? "true" : "false")
+         << ", \"dma_bytes_elided\": " << lr.dma_bytes_elided
          << ", \"cycles\": " << lr.cycles << ", \"flops\": " << lr.flops
          << ", \"gflops\": " << lr.gflops << ", \"attribution\": "
          << obs::attribution_json(layer_attribution(lr)) << "}";

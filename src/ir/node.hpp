@@ -58,6 +58,32 @@ struct ViewAttrs {
   Expr cols;  ///< valid cols
 };
 
+/// Elementwise epilogue fused into the GEMM's C store path: while the
+/// output tile streams from SPM to memory, apply
+///   bias   : += bias_tensor[channel0 + local output-channel index]
+///   res    : += res view element at the tile's (row, col)
+///   relu   : max(x, 0) last
+/// Lowering attaches this to the GemmAttrs; DMA inference moves it onto the
+/// final C DmaPut (rejecting schedules that put partial sums). The order
+/// bias -> residual -> relu matches the unfused graph passes bitwise.
+struct EpilogueAttrs {
+  bool bias = false;
+  bool residual = false;
+  bool relu = false;
+  /// True when the C tile's SPM rows run over output channels (kernel
+  /// variant vectorizes M); false when channels run over columns. Decides
+  /// which tile index selects the bias element.
+  bool channels_on_rows = false;
+  /// First output channel covered by this GEMM's C tile (absolute index
+  /// into the bias tensor).
+  Expr channel0;
+  /// Residual operand view; same rows/cols as the C view, unpadded output
+  /// strides. Tensor name is looked up in the bound tensors ("res").
+  ViewAttrs res;
+
+  bool any() const { return bias || residual || relu; }
+};
+
 /// GEMM statement: C[c_buf] += alpha * op(A[a_buf]) x op(B[b_buf]) on SPM
 /// tiles, dims padded to primitive validity; `a/b/c` keep the memory views
 /// until DMA inference consumes them and fills the buffer bindings.
@@ -74,6 +100,9 @@ struct GemmAttrs {
   // SPM bindings (post-inference). Offsets include double-buffer parity.
   std::string a_buf, b_buf, c_buf;
   Expr a_off, b_off, c_off;
+
+  /// Fused elementwise tail; applied by the C store, not the GEMM itself.
+  EpilogueAttrs epi;
 };
 
 /// DMA node (the paper's DMA_CPE after inference): move the view's valid
@@ -96,6 +125,9 @@ struct DmaAttrs {
   /// orientation); false when the view was transposed to feed a row-major
   /// kernel operand, in which case view-row blocks map to column ids.
   bool rows_to_rid = true;
+  /// Fused elementwise tail (DmaPut of a GEMM output only); moved here
+  /// from GemmAttrs by DMA inference.
+  EpilogueAttrs epi;
 };
 
 struct Stmt {

@@ -51,7 +51,18 @@ void print_rec(std::ostringstream& os, const StmtPtr& s, int depth) {
          << " + " << to_string(s->dma.spm_off) << " (tile "
          << to_string(s->dma.rows_p) << "x" << to_string(s->dma.cols_p)
          << ", reply " << to_string(s->dma.reply)
-         << (s->dma.scatter ? ", scatter" : ", replicate") << ")\n";
+         << (s->dma.scatter ? ", scatter" : ", replicate") << ")";
+      if (s->dma.epi.any()) {
+        os << "  // epilogue:";
+        if (s->dma.epi.bias)
+          os << " bias@" << to_string(s->dma.epi.channel0);
+        if (s->dma.epi.residual) {
+          os << " add ";
+          print_view(os, s->dma.epi.res);
+        }
+        if (s->dma.epi.relu) os << " relu";
+      }
+      os << "\n";
       break;
     case StmtKind::DmaWait:
       os << pad << "dma_wait " << to_string(s->wait_reply) << "\n";

@@ -17,6 +17,9 @@ namespace swatop::obs {
 struct DmaCounters {
   std::int64_t bytes_requested = 0;  ///< payload bytes the program asked for
   std::int64_t bytes_wasted = 0;     ///< transaction padding around blocks
+  /// DRAM bytes the graph engine's fusion + SPM-residency passes removed
+  /// from the run (stores/loads an unfused execution would have priced).
+  std::int64_t bytes_elided = 0;
   std::int64_t transactions = 0;     ///< 128 B DRAM transactions touched
   std::int64_t transfers = 0;        ///< CG-level DMA operations issued
   double queue_wait_cycles = 0.0;    ///< issue delayed by a busy engine

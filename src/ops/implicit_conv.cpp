@@ -1,6 +1,7 @@
 #include "ops/implicit_conv.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
@@ -14,13 +15,19 @@ namespace swatop::ops {
 
 namespace ir = swatop::ir;
 
-ImplicitConvOp::ImplicitConvOp(const ConvShape& shape) : shape_(shape) {
+ImplicitConvOp::ImplicitConvOp(const ConvShape& shape, dsl::EpilogueSpec epi)
+    : shape_(shape), epi_(epi) {
   SWATOP_CHECK(shape.ro() > 0 && shape.co() > 0)
       << "kernel larger than input: " << shape.to_string();
+  SWATOP_CHECK(epi.out_pad >= 0) << "negative output padding";
 }
 
 std::string ImplicitConvOp::name() const {
-  return "implicit_conv[" + shape_.to_string() + "]";
+  std::string n = "implicit_conv[" + shape_.to_string() + "]";
+  // The epilogue changes the lowering, the tensor set and the winner, so it
+  // must be part of the signature (and hence the schedule-cache key).
+  if (epi_.any()) n += "+epi[" + epi_.tag() + "]";
+  return n;
 }
 
 dsl::ScheduleSpace ImplicitConvOp::space() const {
@@ -53,6 +60,7 @@ dsl::ScheduleSpace ImplicitConvOp::space() const {
   sp.add(dsl::ChoiceVar{"variant",
                         {"0", "1", "2", "3", "4", "5", "6", "7"}});
   sp.add(dsl::ChoiceVar{"boundary", {"pad", "switch"}});
+  sp.set_epilogue(epi_);
   return sp;
 }
 
@@ -97,7 +105,14 @@ ir::StmtPtr ImplicitConvOp::lower(const dsl::Strategy& s) const {
   const std::int64_t w_no = ni_major ? Ni : 1;
   const std::int64_t w_ni = ni_major ? 1 : No;
   const std::int64_t w_kc = Ni * No, w_kr = Kc * Ni * No;
-  const std::int64_t out_no = Co * B, out_ro = No * Co * B;
+  // Output strides honour the fused border: with out_pad = p the tile is
+  // stored at (r + p, co + p) of the [ro+2p][no][co+2p][b] tensor, which
+  // keeps the fused (co, b) columns contiguous (stride 1) and only changes
+  // the channel/row strides and a constant base shift.
+  const std::int64_t P = epi_.out_pad;
+  const std::int64_t out_no = (Co + 2 * P) * B;
+  const std::int64_t out_ro = No * out_no;
+  const std::int64_t out_shift = P * out_ro + P * B;
 
   ir::GemmAttrs g;
   g.variant = variant;
@@ -123,12 +138,32 @@ ir::StmtPtr ImplicitConvOp::lower(const dsl::Strategy& s) const {
                  ir::mul(ir::add(ir::mul(dco.base(), ir::cst(S)), v),
                          ir::cst(B))),
          in_ni, 1, dni.valid(), ir::mul(dco.valid(), ir::cst(B))};
-  // C: output slice, rows = no (stride Co*B), cols = fused (co, b).
+  // C: output slice, rows = no (stride (Co+2p)*B), cols = fused (co, b).
   g.c = {"out",
          ir::add(ir::add(ir::mul(r, ir::cst(out_ro)),
                          ir::mul(dno.base(), ir::cst(out_no))),
-                 ir::mul(dco.base(), ir::cst(B))),
+                 ir::add(ir::mul(dco.base(), ir::cst(B)),
+                         ir::cst(out_shift))),
          out_no, 1, dno.valid(), ir::mul(dco.valid(), ir::cst(B))};
+
+  if (epi_.compute()) {
+    g.epi.bias = epi_.bias;
+    g.epi.residual = epi_.residual;
+    g.epi.relu = epi_.relu;
+    // Natural C orientation: output channels run over the view rows (DMA
+    // inference flips this when the kernel variant transposes C).
+    g.epi.channels_on_rows = true;
+    if (epi_.bias) g.epi.channel0 = dno.base();
+    if (epi_.residual) {
+      // The residual tensor has the *unpadded* output layout.
+      const std::int64_t res_no = Co * B, res_ro = No * Co * B;
+      g.epi.res = {"res",
+                   ir::add(ir::add(ir::mul(r, ir::cst(res_ro)),
+                                   ir::mul(dno.base(), ir::cst(res_no))),
+                           ir::mul(dco.base(), ir::cst(B))),
+                   res_no, 1, dno.valid(), ir::mul(dco.valid(), ir::cst(B))};
+    }
+  }
 
   const std::vector<std::pair<char, sched::LoopSpec>> dims = {
       {'r', {"r", ir::cst(Ro), false}},
@@ -143,10 +178,15 @@ ir::StmtPtr ImplicitConvOp::lower(const dsl::Strategy& s) const {
 }
 
 std::vector<dsl::TensorSpec> ImplicitConvOp::tensors() const {
-  return {
+  std::vector<dsl::TensorSpec> t = {
       {"in", shape_.ri * shape_.ni * shape_.ci * shape_.batch, false},
       {"w", shape_.kr * shape_.kc * shape_.ni * shape_.no, false},
-      {"out", shape_.ro() * shape_.no * shape_.co() * shape_.batch, true}};
+      {"out", ro_p() * shape_.no * co_p() * shape_.batch, true}};
+  if (epi_.bias) t.push_back({"bias", shape_.no, false});
+  if (epi_.residual)
+    t.push_back(
+        {"res", shape_.ro() * shape_.no * shape_.co() * shape_.batch, false});
+  return t;
 }
 
 void ImplicitConvOp::fill_inputs(sim::CoreGroup& cg,
@@ -157,6 +197,18 @@ void ImplicitConvOp::fill_inputs(sim::CoreGroup& cg,
   auto in = cg.mem().view(bt.at("in"),
                           shape_.ri * Ni * shape_.ci * shape_.batch);
   for (float& x : in) x = rng.next();
+
+  if (epi_.bias) {
+    auto b = cg.mem().view(bt.at("bias"), No);
+    Prng brng(17);
+    for (float& x : b) x = brng.next();
+  }
+  if (epi_.residual) {
+    auto res = cg.mem().view(bt.at("res"), shape_.ro() * No * shape_.co() *
+                                               shape_.batch);
+    Prng rrng(19);
+    for (float& x : res) x = rrng.next();
+  }
 
   // Weights are generated in the canonical [kr][kc][ni][no] order and
   // written in the strategy's chosen layout.
@@ -195,10 +247,58 @@ double ImplicitConvOp::check_output(sim::CoreGroup& cg,
   std::vector<float> ref(static_cast<std::size_t>(
       shape_.ro() * No * shape_.co() * shape_.batch));
   reference_conv(in.data(), w.data(), ref.data(), shape_);
-  auto got = cg.mem().view(bt.at("out"),
-                           static_cast<std::int64_t>(ref.size()));
-  return max_abs_diff(got.data(), ref.data(),
-                      static_cast<std::int64_t>(ref.size()));
+
+  if (epi_.compute()) {
+    // Same order as the fused store: bias, residual-add, relu.
+    std::vector<float> bias(static_cast<std::size_t>(No));
+    if (epi_.bias) {
+      Prng brng(17);
+      for (float& x : bias) x = brng.next();
+    }
+    std::vector<float> res(ref.size());
+    if (epi_.residual) {
+      Prng rrng(19);
+      for (float& x : res) x = rrng.next();
+    }
+    const std::int64_t Co = shape_.co(), B = shape_.batch;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const std::int64_t no =
+          (static_cast<std::int64_t>(i) / (Co * B)) % No;
+      if (epi_.bias) ref[i] += bias[static_cast<std::size_t>(no)];
+      if (epi_.residual) ref[i] += res[i];
+      if (epi_.relu) ref[i] = std::max(ref[i], 0.0f);
+    }
+  }
+
+  if (epi_.out_pad == 0) {
+    auto got = cg.mem().view(bt.at("out"),
+                             static_cast<std::int64_t>(ref.size()));
+    return max_abs_diff(got.data(), ref.data(),
+                        static_cast<std::int64_t>(ref.size()));
+  }
+  // Padded output: the schedule owns the interior only (the border is
+  // pre-zeroed by the consumer), so compare element-wise at the padded
+  // offsets.
+  const std::int64_t P = epi_.out_pad, Co = shape_.co(), B = shape_.batch;
+  const std::int64_t Wp = co_p();
+  auto got = cg.mem().view(bt.at("out"), ro_p() * No * Wp * B);
+  double worst = 0.0;
+  for (std::int64_t r = 0; r < shape_.ro(); ++r) {
+    for (std::int64_t no = 0; no < No; ++no) {
+      for (std::int64_t c = 0; c < Co; ++c) {
+        for (std::int64_t b = 0; b < B; ++b) {
+          const std::int64_t raw = ((r * No + no) * Co + c) * B + b;
+          const std::int64_t pad =
+              (((r + P) * No + no) * Wp + (c + P)) * B + b;
+          const double d = std::abs(
+              static_cast<double>(got[static_cast<std::size_t>(pad)]) -
+              static_cast<double>(ref[static_cast<std::size_t>(raw)]));
+          worst = std::max(worst, d);
+        }
+      }
+    }
+  }
+  return worst;
 }
 
 }  // namespace swatop::ops

@@ -20,7 +20,15 @@ namespace swatop::ops {
 
 class ImplicitConvOp : public dsl::OperatorDef {
  public:
-  explicit ImplicitConvOp(const ConvShape& shape);
+  /// `epi` fuses an elementwise tail (bias / residual-add / relu, applied
+  /// in that order) into the C store path and/or stores into a
+  /// zero-padded output border (`out_pad`). Extra tensors: "bias" (No
+  /// floats) when epi.bias, "res" (unpadded output size) when
+  /// epi.residual; "out" grows to the padded extent when epi.out_pad > 0.
+  /// The padded border itself is owned by the caller (pre-zeroed once);
+  /// the schedule only writes the interior.
+  explicit ImplicitConvOp(const ConvShape& shape,
+                          dsl::EpilogueSpec epi = {});
 
   /// Implicit CONV needs enough input channels to feed the K dimension
   /// (the paper excludes each network's first layer for this reason).
@@ -37,9 +45,15 @@ class ImplicitConvOp : public dsl::OperatorDef {
                       const dsl::Strategy& s) const override;
 
   const ConvShape& shape() const { return shape_; }
+  const dsl::EpilogueSpec& epilogue() const { return epi_; }
 
  private:
+  /// Padded output spatial dims (identical to the raw dims without pad).
+  std::int64_t ro_p() const { return shape_.ro() + 2 * epi_.out_pad; }
+  std::int64_t co_p() const { return shape_.co() + 2 * epi_.out_pad; }
+
   ConvShape shape_;
+  dsl::EpilogueSpec epi_;
 };
 
 }  // namespace swatop::ops

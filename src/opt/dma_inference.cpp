@@ -233,6 +233,23 @@ bool infer_dma(ir::StmtPtr& root, const sim::SimConfig& cfg) {
   for (std::size_t i = 1; i <= pc.level && i < path.size(); ++i)
     if (path[i].reduction) outer_reductions.push_back(path[i].loop_var);
 
+  // Fused epilogue: apply it on the C store. Legal only when every put
+  // writes finished sums -- a reduction loop outside C's scope puts the
+  // tile once per pass, and the epilogue would bias/clamp partial sums.
+  if (g.epi.any()) {
+    if (!outer_reductions.empty()) return false;
+    pc.dma.epi = g.epi;
+    if (variant.vec != isa::VecDim::M) {
+      // plan_operand transposed the C view for a row-major kernel; keep the
+      // residual view and the bias index in the same orientation as the put.
+      ir::EpilogueAttrs& e = pc.dma.epi;
+      std::swap(e.res.rows, e.res.cols);
+      std::swap(e.res.stride_r, e.res.stride_c);
+      e.channels_on_rows = !e.channels_on_rows;
+    }
+    g.epi = ir::EpilogueAttrs{};
+  }
+
   if (outer_reductions.empty()) {
     insert_before(pc.level,
                   {ir::make_spm_zero(pc.buf, ir::cst(0),

@@ -79,6 +79,10 @@ void subst_stmt(const ir::StmtPtr& s, const std::string& v,
     sub(n->dma.cols_p);
     sub(n->dma.spm_off);
     sub(n->dma.reply);
+    sub(n->dma.epi.channel0);
+    sub(n->dma.epi.res.base);
+    sub(n->dma.epi.res.rows);
+    sub(n->dma.epi.res.cols);
     sub(n->wait_reply);
     sub(n->gemm.M);
     sub(n->gemm.N);

@@ -112,6 +112,8 @@ RunResult Interpreter::run(const ir::StmtPtr& root,
                     SlotInfo{});
   loop_stack_.clear();
   alloc_floats_.clear();
+  bias_charged_.clear();
+  bytes_elided_ = 0;
   if (cg_.config().sanitize.bounds_on()) {
     for (const auto& a : cg_.mem().allocations())
       alloc_floats_[a.base] = a.size;
@@ -129,6 +131,7 @@ RunResult Interpreter::run(const ir::StmtPtr& root,
   RunResult r;
   r.cycles = cg_.now();
   r.stats = cg_.stats();
+  r.bytes_elided = bytes_elided_;
   if (obs_ != nullptr) {
     if (obs_->tracing()) {
       obs::TraceEvent ev;
@@ -319,13 +322,27 @@ void Interpreter::exec_dma(const ir::Stmt& s) {
   check_overlap(spm_at, spm_hi, is_get,
                 std::string("DMA ") + (is_get ? "get into" : "put from") +
                     " buffer '" + d.spm_buf + "'");
+  if (!is_get && d.epi.any()) apply_epilogue(s, geo, spm_at);
   const sim::DmaCost& cost = dma_cost_cache_.get(d, geo, cg_.dma(), cfg);
-  const double done = cg_.dma_issue_cost_at(cost);
+  const bool resident =
+      resident_ != nullptr && resident_->tensors.count(d.view.tensor) > 0;
+  double done;
+  if (resident) {
+    // Inter-layer residency: the tensor lives distributed in the mesh's
+    // SPMs, so this transfer never reaches DRAM or the DMA engine. Count
+    // what an unpinned run would have priced.
+    bytes_elided_ += cost.bytes_requested;
+    done = cg_.now();
+  } else {
+    done = cg_.dma_issue_cost_at(cost);
+  }
   reply_done_[static_cast<std::size_t>(slot)] = done;
   slot_info_[static_cast<std::size_t>(slot)] =
       SlotInfo{d.spm_buf, spm_at, spm_hi, is_get};
 
-  if (obs_ != nullptr) {
+  // Elided transfers are invisible to the DMA observability too: traced /
+  // per-CPE bytes stay equal to priced bytes by construction.
+  if (obs_ != nullptr && !resident) {
     if (obs_->tracing()) {
       obs::TraceEvent ev;
       ev.name = (d.dir == ir::Direction::MemToSpm ? "get " : "put ") +
@@ -399,6 +416,93 @@ void Interpreter::exec_dma(const ir::Stmt& s) {
             spm.write(spm_idx, cg_.mem().read(mem_at));
           else
             cg_.mem().write(mem_at, spm.read(spm_idx));
+        }
+      }
+    }
+  }
+}
+
+void Interpreter::apply_epilogue(const ir::Stmt& s, const DmaGeometry& geo,
+                                 std::int64_t spm_at) {
+  const ir::DmaAttrs& d = s.dma;
+  const ir::EpilogueAttrs& e = d.epi;
+  const sim::SimConfig& cfg = cg_.config();
+
+  // Residual operand: re-read of the same tile geometry from the res view,
+  // priced like the get it replaces (the unfused Add pass paid it too, plus
+  // a full extra read+write of the main operand).
+  sim::MainMemory::Addr res_base = 0;
+  if (e.residual) {
+    const auto rt = tensors_->find(e.res.tensor);
+    SWATOP_CHECK(rt != tensors_->end())
+        << "unbound epilogue tensor '" << e.res.tensor << "'";
+    ir::DmaAttrs rd;
+    rd.view = e.res;
+    rd.dir = ir::Direction::MemToSpm;
+    rd.scatter = d.scatter;
+    rd.rows_to_rid = d.rows_to_rid;
+    DmaGeometry rg = geo;
+    rg.base = rt->second + eval_.eval(e.res.base);
+    res_base = rg.base;
+    const sim::DmaCost& rc = dma_cost_cache_.get(rd, rg, cg_.dma(), cfg);
+    if (resident_ != nullptr && resident_->tensors.count(e.res.tensor) > 0)
+      bytes_elided_ += rc.bytes_requested;
+    else
+      cg_.charge_dma_cost_sync(rc);
+  }
+
+  // Bias vector: a tiny get charged once per channel range and run; the
+  // vector then stays resident in SPM across the tiles that reuse it.
+  sim::MainMemory::Addr bias_base = 0;
+  std::int64_t ch0 = 0;
+  if (e.bias) {
+    const auto bt = tensors_->find("bias");
+    SWATOP_CHECK(bt != tensors_->end()) << "unbound epilogue tensor 'bias'";
+    bias_base = bt->second;
+    ch0 = eval_.eval(e.channel0);
+    if (bias_charged_.insert(ch0).second) {
+      const std::int64_t nch = e.channels_on_rows ? geo.rows_p : geo.cols_p;
+      sim::DmaCpeDesc bd;
+      bd.mem_base = bias_base + ch0;
+      bd.block = nch;
+      bd.stride = 0;
+      bd.total = nch;
+      bd.dir = sim::DmaDir::MemToSpm;
+      cg_.charge_dma_sync(std::span<const sim::DmaCpeDesc>(&bd, 1));
+    }
+  }
+
+  // The elementwise tail itself: vector ops on the SPM tile, CPEs in
+  // parallel.
+  const int nops = (e.bias ? 1 : 0) + (e.residual ? 1 : 0) + (e.relu ? 1 : 0);
+  cg_.advance_compute(static_cast<double>(nops) * geo.tr * geo.tc /
+                      cfg.vector_width);
+
+  if (mode_ != sim::ExecMode::Functional) return;
+  for (int rid = 0; rid < cfg.mesh_rows; ++rid) {
+    for (int cid = 0; cid < cfg.mesh_cols; ++cid) {
+      std::int64_t br, bc;
+      block_of(d, rid, cid, &br, &bc);
+      const std::int64_t vr =
+          std::clamp<std::int64_t>(geo.rows - br * geo.tr, 0, geo.tr);
+      const std::int64_t vc =
+          std::clamp<std::int64_t>(geo.cols - bc * geo.tc, 0, geo.tc);
+      if (vr <= 0 || vc <= 0) continue;
+      sim::Spm& spm = cg_.cluster().at(rid, cid).spm();
+      for (std::int64_t j = 0; j < vc; ++j) {
+        for (std::int64_t i = 0; i < vr; ++i) {
+          const std::int64_t gi = br * geo.tr + i;
+          const std::int64_t gj = bc * geo.tc + j;
+          const std::int64_t idx = spm_at + i + j * geo.tr;
+          float v = spm.read(idx);
+          if (e.bias)
+            v += cg_.mem().read(bias_base + ch0 +
+                                (e.channels_on_rows ? gi : gj));
+          if (e.residual)
+            v += cg_.mem().read(res_base + gi * e.res.stride_r +
+                                gj * e.res.stride_c);
+          if (e.relu) v = std::max(v, 0.0f);
+          spm.write(idx, v);
         }
       }
     }

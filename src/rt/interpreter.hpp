@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "dsl/dsl.hpp"
 #include "ir/node.hpp"
@@ -22,9 +23,21 @@
 
 namespace swatop::rt {
 
+/// Operand tensors (by the *operator's* tensor names, e.g. "in"/"out")
+/// the graph engine's inter-layer residency plan pinned on-chip for a
+/// run: DMA against them never reaches DRAM or the DMA engine, so the
+/// interpreter counts the transfer into RunResult::bytes_elided instead
+/// of pricing it.
+struct ResidentSet {
+  std::unordered_set<std::string> tensors;
+  bool empty() const { return tensors.empty(); }
+};
+
 struct RunResult {
   double cycles = 0.0;
   sim::CgStats stats;
+  /// DRAM bytes not moved because the operand was SPM-resident.
+  std::int64_t bytes_elided = 0;
   /// Observability snapshot of the run (counters + trace). Empty with
   /// `enabled == false` unless a recorder was attached to the core group.
   obs::Profile profile;
@@ -44,11 +57,20 @@ class Interpreter {
   /// engine, statistics and SPM allocator (memory contents are preserved).
   RunResult run(const ir::StmtPtr& root, const dsl::BoundTensors& tensors);
 
+  /// Pin operand tensors on-chip for subsequent run()s (null to clear);
+  /// the pointer must outlive the runs. See ResidentSet.
+  void set_resident(const ResidentSet* rs) { resident_ = rs; }
+
  private:
   void exec(const ir::StmtPtr& s);
   void exec_dma(const ir::Stmt& s);
   void exec_gemm(const ir::Stmt& s);
   void exec_zero(const ir::Stmt& s);
+  /// Apply a fused epilogue to the C tile in SPM right before its put:
+  /// prices the residual re-read, the (once per channel range) bias fetch
+  /// and the vector ops, and in Functional mode rewrites the tile in place.
+  void apply_epilogue(const ir::Stmt& s, const DmaGeometry& geo,
+                      std::int64_t spm_at);
   std::int64_t spm_base(const std::string& buf) const;
 
   /// Per-slot bookkeeping beyond the completion time: which buffer the
@@ -110,6 +132,13 @@ class Interpreter {
   };
   std::unordered_map<std::uint64_t, GemmCost> gemm_cost_memo_;
   DmaCostCache dma_cost_cache_;
+  // Inter-layer residency for the current run (null: everything priced).
+  const ResidentSet* resident_ = nullptr;
+  std::int64_t bytes_elided_ = 0;
+  // Epilogue bias vectors already fetched this run (keyed by first channel):
+  // the tiny broadcast get is charged once per channel range, then the
+  // vector stays in SPM across the output tiles that reuse it.
+  std::unordered_set<std::int64_t> bias_charged_;
 };
 
 }  // namespace swatop::rt

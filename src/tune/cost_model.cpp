@@ -65,6 +65,29 @@ void CostModel::walk(const ir::StmtPtr& s, ir::Env& env, StaticCost* acc,
       const bool synchronous =
           ir::is_const(s->dma.reply) && ir::as_cst(s->dma.reply) < 100;
       (synchronous ? acc->dma_sync_cycles : acc->dma_overlapped_cycles) += t;
+      if (s->kind == ir::StmtKind::DmaPut && s->dma.epi.any()) {
+        // Mirror the runtime's epilogue pricing: a synchronous residual
+        // re-read of the same tile, plus the vector ops on the tile. The
+        // once-per-run bias fetch is noise at this granularity and skipped.
+        const ir::EpilogueAttrs& e = s->dma.epi;
+        if (e.residual) {
+          ir::DmaAttrs rd;
+          rd.view = e.res;
+          rd.dir = ir::Direction::MemToSpm;
+          rd.scatter = s->dma.scatter;
+          rd.rows_to_rid = s->dma.rows_to_rid;
+          rt::DmaGeometry rg = g;
+          rg.base = ir::eval(e.res.base, env);
+          acc->dma_sync_cycles +=
+              scale *
+              dma_cost_cache_.get(rd, rg, engine_, cfg_).total_cycles();
+        }
+        const int nops =
+            (e.bias ? 1 : 0) + (e.residual ? 1 : 0) + (e.relu ? 1 : 0);
+        acc->compute_cycles += scale * static_cast<double>(nops) *
+                               static_cast<double>(g.tr) *
+                               static_cast<double>(g.tc) / cfg_.vector_width;
+      }
       return;
     }
     case ir::StmtKind::Gemm: {

@@ -65,8 +65,10 @@ struct CacheEntry {
 class ScheduleCache {
  public:
   /// Bump to invalidate every existing cache file (key semantics or file
-  /// format change).
-  static constexpr int kVersion = 1;
+  /// format change). v2: strategies carry an EpilogueSpec (`e:` tokens) and
+  /// operator signatures include the epilogue tag, so v1 unfused winners
+  /// must never be replayed against fused operators.
+  static constexpr int kVersion = 2;
 
   /// Loads `cfg.path` when set; a missing, unreadable or version-mismatched
   /// file yields an empty cache, never an error.

@@ -283,6 +283,44 @@ TEST(FuzzSpec, RoundTrips) {
             nullptr);
 }
 
+TEST(FuzzSpec, FusedEpilogueTagRoundTrips) {
+  const auto spec =
+      check::OpSpec::parse("implicit_conv+bar,p1:1,32,32,6,6,3,3,1");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->kind, "implicit_conv");
+  EXPECT_TRUE(spec->epi.bias);
+  EXPECT_TRUE(spec->epi.residual);
+  EXPECT_TRUE(spec->epi.relu);
+  EXPECT_EQ(spec->epi.out_pad, 1);
+  EXPECT_EQ(spec->to_string(), "implicit_conv+bar,p1:1,32,32,6,6,3,3,1");
+  EXPECT_NE(check::make_op(*spec), nullptr);
+  // Pad-only and flags-only tags parse too.
+  EXPECT_TRUE(check::OpSpec::parse("implicit_conv+p2:1,32,32,6,6,3,3,1"));
+  EXPECT_TRUE(check::OpSpec::parse("implicit_conv+br:1,32,32,6,6,3,3,1"));
+  // Malformed tags and fused non-implicit kinds are rejected.
+  EXPECT_FALSE(check::OpSpec::parse("implicit_conv+x:1,32,32,6,6,3,3,1"));
+  EXPECT_FALSE(check::OpSpec::parse("implicit_conv+rb:1,32,32,6,6,3,3,1"));
+  EXPECT_FALSE(check::OpSpec::parse("implicit_conv+:1,32,32,6,6,3,3,1"));
+  EXPECT_FALSE(check::OpSpec::parse("implicit_conv+bar,p0:1,32,32,6,6,3,3,1"));
+  EXPECT_EQ(check::make_op(
+                *check::OpSpec::parse("explicit_conv+b:1,32,32,6,6,3,3,1")),
+            nullptr);
+}
+
+TEST(FuzzSmoke, FusedFixedSeedHasNoFailures) {
+  // Epilogue candidates through the same sweep: sanitizers armed, every
+  // fused store-path variant diffed against the fused host reference.
+  check::FuzzOptions opts;
+  opts.seed = 7;
+  opts.cases = 30;
+  opts.matmul = false;
+  opts.fused = true;
+  check::FuzzReport rep = check::fuzz_schedules(opts);
+  EXPECT_GE(rep.cases_run, 30);
+  for (const auto& f : rep.failures)
+    ADD_FAILURE() << "[" << f.kind << "] " << f.detail << "\n  " << f.repro;
+}
+
 TEST(FuzzSmoke, FixedSeedHasNoFailures) {
   check::FuzzOptions opts;
   opts.seed = 11;

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "graph/build.hpp"
 #include "graph/engine.hpp"
+#include "graph/fuse.hpp"
 #include "graph/graph.hpp"
 #include "graph/memory_plan.hpp"
 #include "graph/reference.hpp"
@@ -287,6 +288,267 @@ TEST(RefData, GroupFillMatchesFullBatchSlice) {
   for (std::int64_t p = 0; p < positions; ++p)
     for (std::int64_t b = 0; b < sub; ++b)
       ASSERT_EQ(part[p * sub + b], whole[p * full + batch0 + b]);
+}
+
+// ---------------------------------------------------------------- fusion
+
+/// A fusible block: conv(3x3, 32 -> 32) -> bias -> relu on an 8x8 input
+/// (ni = 32, so implicit GEMM applies and the engine fuses it). With
+/// `residual`, a same-shape second input rides an Add between bias and
+/// relu -- the resnet tail shape. With `tail_pad`, a Pad follows relu.
+Graph make_fusible(bool residual, bool tail_pad = false) {
+  Graph g("fusible");
+  g.add_input("in", {8, 32});
+  Node conv = node(NodeKind::Conv, "conv", {"in"}, "t:conv");
+  conv.kernel = 3;
+  conv.channels_out = 32;
+  g.add(conv);
+  g.add(node(NodeKind::Bias, "conv.bias", {"t:conv"}, "t:bias"));
+  std::string cur = "t:bias";
+  if (residual) {
+    g.add_input("shortcut", {6, 32});
+    g.add(node(NodeKind::Add, "conv.add", {cur, "shortcut"}, "t:sum"));
+    cur = "t:sum";
+  }
+  g.add(node(NodeKind::Relu, "conv.relu", {cur}, "t:relu"));
+  if (tail_pad) {
+    Node pad = node(NodeKind::Pad, "conv.pad", {"t:relu"}, "t:pad");
+    pad.pad = 1;
+    g.add(pad);
+  }
+  return g;
+}
+
+TEST(Fuse, ChainCollapsesToSingleNode) {
+  const Graph g = make_fusible(false);
+  FusionStats st;
+  const Graph f = fuse_epilogues(g, &st);
+  EXPECT_TRUE(f.validate().empty());
+  ASSERT_EQ(f.nodes().size(), 1u);
+  const Node& n = f.nodes()[0];
+  EXPECT_EQ(n.kind, NodeKind::Conv);
+  EXPECT_TRUE(n.epilogue.bias);
+  EXPECT_TRUE(n.epilogue.relu);
+  EXPECT_FALSE(n.epilogue.residual);
+  EXPECT_EQ(n.bias_name, "conv.bias");  // seeds the same bias vector
+  EXPECT_EQ(n.output, "t:relu");        // the chain tail's tensor
+  EXPECT_EQ(st.convs_fused, 1);
+  EXPECT_EQ(st.bias_folded, 1);
+  EXPECT_EQ(st.relu_folded, 1);
+  EXPECT_EQ(st.nodes_removed(), 2);
+}
+
+TEST(Fuse, ResidualAddAndPadAreAbsorbed) {
+  const Graph g = make_fusible(true, /*tail_pad=*/true);
+  FusionStats st;
+  const Graph f = fuse_epilogues(g, &st);
+  EXPECT_TRUE(f.validate().empty());
+  ASSERT_EQ(f.nodes().size(), 1u);
+  const Node& n = f.nodes()[0];
+  EXPECT_TRUE(n.epilogue.bias);
+  EXPECT_TRUE(n.epilogue.residual);
+  EXPECT_TRUE(n.epilogue.relu);
+  EXPECT_EQ(n.epilogue.out_pad, 1);
+  ASSERT_EQ(n.inputs.size(), 2u);
+  EXPECT_EQ(n.inputs[1], "shortcut");  // the residual operand
+  EXPECT_EQ(n.output, "t:pad");
+  EXPECT_EQ(st.add_folded, 1);
+  EXPECT_EQ(st.pad_folded, 1);
+  // The padded output shape matches the unfused graph's.
+  EXPECT_EQ(f.shapes().at("t:pad"), g.shapes().at("t:pad"));
+}
+
+TEST(Fuse, MultiConsumerIntermediateBlocksAbsorption) {
+  // The conv output feeds bias AND a pool: absorbing bias would hide a
+  // tensor the pool still needs, so nothing fuses.
+  Graph g = make_fusible(false);
+  g.add(node(NodeKind::MaxPool2x2, "pool", {"t:conv"}, "t:pool"));
+  FusionStats st;
+  const Graph f = fuse_epilogues(g, &st);
+  EXPECT_TRUE(f.validate().empty());
+  EXPECT_EQ(st.bias_folded, 0);
+  EXPECT_EQ(st.convs_fused, 0);
+  EXPECT_EQ(f.nodes().size(), g.nodes().size());
+}
+
+TEST(Fuse, PredicateGatesWhichConvsFuse) {
+  const Graph g = make_fusible(false);
+  FusionStats st;
+  const Graph f =
+      fuse_epilogues(g, &st, [](const Node&) { return false; });
+  EXPECT_EQ(st.convs_fused, 0);
+  EXPECT_EQ(f.nodes().size(), g.nodes().size());
+}
+
+TEST(Graph, FusedResidualShapeMismatchIsReported) {
+  // A fused residual operand must match the conv's *raw* output shape
+  // before the planner ever sees the graph (satellite of ISSUE 6).
+  Graph g;
+  g.add_input("in", {8, 32});
+  g.add_input("shortcut", {4, 32});  // wrong: conv raw output is 6x6
+  Node conv = node(NodeKind::Conv, "conv", {"in", "shortcut"}, "out");
+  conv.kernel = 3;
+  conv.channels_out = 32;
+  conv.epilogue.bias = true;
+  conv.epilogue.residual = true;
+  conv.epilogue.relu = true;
+  g.add(conv);
+  const auto problems = g.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("residual"), std::string::npos);
+  // Fixing the operand shape clears it.
+  Graph ok;
+  ok.add_input("in", {8, 32});
+  ok.add_input("shortcut", {6, 32});
+  ok.add(conv);
+  EXPECT_TRUE(ok.validate().empty());
+}
+
+TEST(Residency, AdjacentMpePassesPinTheHandoverTensor) {
+  // pool -> pad back to back: pool's output is consumed only by pad, so
+  // the tiles hand over on-chip. Conv-adjacent edges need a budget.
+  const Graph g = make_tiny(1);
+  const ResidencyPlan rp = plan_residency(g);
+  EXPECT_TRUE(rp.resident.count("t:pool1"));
+  EXPECT_GT(rp.resident_floats_per_image, 0);
+  // Conv operands stay materialized without a conv budget.
+  EXPECT_FALSE(rp.resident.count("t:pad1"));
+  EXPECT_FALSE(rp.resident.count("t:conv1"));
+}
+
+TEST(Residency, ConvEdgesNeedBudgetAndGate) {
+  // conv -> bias adjacent edge: resident only when the tensor fits the
+  // conv budget and the conv passes the gate.
+  const Graph g = make_fusible(false);
+  ResidencyOptions o;
+  o.batch = 2;
+  o.conv_budget_floats = g.shapes().at("t:conv").floats(2);
+  const ResidencyPlan rp = plan_residency(g, o);
+  EXPECT_TRUE(rp.resident.count("t:conv"));
+  // One float short: the whole tensor no longer fits.
+  o.conv_budget_floats -= 1;
+  EXPECT_FALSE(plan_residency(g, o).resident.count("t:conv"));
+  // The engine's gate (e.g. "implicit only") excludes the conv endpoint.
+  o.conv_budget_floats += 1;
+  o.conv_ok = [](const Node&) { return false; };
+  EXPECT_FALSE(plan_residency(g, o).resident.count("t:conv"));
+}
+
+TEST(Engine, FusedBlockMatchesReferenceAndElidesTraffic) {
+  // Functional equivalence of the fused implicit kernel against the
+  // *unfused* host reference (the engine always checks the original
+  // graph), plus the ablation: fusion off prices strictly more cycles.
+  GraphEngine engine(fast_cfg());
+  NetOptions fused;  // fusion + residency default on
+  const NetRunResult r = engine.run(make_fusible(true), 2, fused);
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+  EXPECT_EQ(r.fusion.convs_fused, 1);
+  EXPECT_EQ(r.fusion.add_folded, 1);
+  ASSERT_FALSE(r.layers.empty());
+  EXPECT_TRUE(r.layers[0].fused);
+
+  NetOptions off;
+  off.fusion = false;
+  off.residency = false;
+  const NetRunResult u = engine.run(make_fusible(true), 2, off);
+  EXPECT_TRUE(u.checked);
+  EXPECT_LT(u.max_rel_err, 1e-4);
+  EXPECT_EQ(u.fusion.convs_fused, 0);
+  EXPECT_EQ(u.dma_bytes_elided, 0);
+  EXPECT_GT(u.layers.size(), r.layers.size());
+  EXPECT_GT(u.cycles, r.cycles);
+}
+
+TEST(Engine, ResidencyElidesBytesOnFusibleChain) {
+  // Two fusible convs back to back: the inter-conv tensor fits the SPM
+  // budget, so its store + reload are elided and counted.
+  Graph g("chain");
+  g.add_input("in", {10, 32});
+  Node c1 = node(NodeKind::Conv, "c1", {"in"}, "t:c1");
+  c1.kernel = 3;
+  c1.channels_out = 32;
+  g.add(c1);
+  g.add(node(NodeKind::Relu, "c1.relu", {"t:c1"}, "t:r1"));
+  Node c2 = node(NodeKind::Conv, "c2", {"t:r1"}, "t:c2");
+  c2.kernel = 3;
+  c2.channels_out = 32;
+  g.add(c2);
+
+  GraphEngine engine(fast_cfg());
+  const NetRunResult r = engine.run(g, 2, NetOptions{});
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+  EXPECT_GT(r.resident_tensors, 0);
+  EXPECT_GT(r.dma_bytes_elided, 0);
+  std::int64_t layer_sum = 0;
+  for (const LayerReport& lr : r.layers) layer_sum += lr.dma_bytes_elided;
+  EXPECT_EQ(layer_sum, r.dma_bytes_elided);
+
+  NetOptions noresidency;
+  noresidency.residency = false;
+  const NetRunResult n = engine.run(g, 2, noresidency);
+  EXPECT_EQ(n.dma_bytes_elided, 0);
+  EXPECT_GT(n.cycles, r.cycles);  // the elided DMA was real priced time
+  EXPECT_TRUE(n.checked);
+  EXPECT_LT(n.max_rel_err, 1e-4);
+}
+
+// Fused-vs-unfused functional equivalence on the evaluation networks'
+// real layer geometry. Full-net functional runs take minutes each, so
+// tier-1 uses the tail slice of each table (the full nets run checked in
+// the CI e2e smoke and bench_net_e2e); both runs are validated against
+// the host reference of the *unfused* graph, which is the equivalence
+// statement -- the engine never checks against its own fused execution.
+void expect_fused_equivalence(const Graph& g, bool expect_elided) {
+  GraphEngine engine(fast_cfg());
+  const NetRunResult r = engine.run(g, 1, NetOptions{});
+  EXPECT_TRUE(r.checked);
+  EXPECT_LT(r.max_rel_err, 1e-4);
+  EXPECT_GT(r.fusion.convs_fused, 0);
+  if (expect_elided) {
+    EXPECT_GT(r.dma_bytes_elided, 0);
+  }
+
+  NetOptions off;
+  off.fusion = false;
+  off.residency = false;
+  const NetRunResult u = engine.run(g, 1, off);
+  EXPECT_TRUE(u.checked);
+  EXPECT_LT(u.max_rel_err, 1e-4);
+  EXPECT_EQ(u.fusion.convs_fused, 0);
+  EXPECT_LT(r.cycles, u.cycles);
+}
+
+TEST(Engine, Vgg16TailFusedMatchesReference) {
+  const auto t = nets::vgg16();
+  expect_fused_equivalence(
+      build_chain("vgg16-tail", {t[t.size() - 2], t[t.size() - 1]}), true);
+}
+
+TEST(Engine, YoloTailFusedMatchesReference) {
+  // conv15 (1x1) -> conv16 (3x3): the inter-layer Pad is absorbed as
+  // conv15's out_pad, so this slice also covers pad folding end to end.
+  const auto t = nets::yolo();
+  expect_fused_equivalence(
+      build_chain("yolo-tail", {t[t.size() - 2], t[t.size() - 1]}), true);
+}
+
+TEST(Engine, ResnetBottleneckTailFusedMatchesReference) {
+  // The res5_3x3 tail of a ResNet-50 bottleneck at table geometry:
+  // conv(3x3, 512 -> 512 @ 7) -> bias -> residual add -> relu, the
+  // Conv+Bias+Add+Relu chain the fusion pass exists for.
+  Graph g("res5-tail");
+  g.add_input("in", {9, 512});
+  g.add_input("shortcut", {7, 512});
+  Node conv = node(NodeKind::Conv, "res5_3x3", {"in"}, "t:conv");
+  conv.kernel = 3;
+  conv.channels_out = 512;
+  g.add(conv);
+  g.add(node(NodeKind::Bias, "res5_3x3.bias", {"t:conv"}, "t:bias"));
+  g.add(node(NodeKind::Add, "res5_add", {"t:bias", "shortcut"}, "t:sum"));
+  g.add(node(NodeKind::Relu, "res5_relu", {"t:sum"}, "out"));
+  expect_fused_equivalence(g, /*expect_elided=*/false);
 }
 
 // ---------------------------------------------------------------- engine

@@ -658,6 +658,13 @@ TEST(NetAttribution, Vgg16PerLayerAttributionsSumToNetBasis) {
   const graph::NetRunResult r = engine.run(g, /*batch=*/2, opts);
   ASSERT_FALSE(r.layers.empty());
 
+  // NetOptions defaults leave fusion and residency ON, so this run prices
+  // fused epilogues and elided DMA -- the attribution identities below must
+  // survive both (elided transfers are invisible to the DMA observability,
+  // keeping traced bytes equal to priced bytes).
+  EXPECT_GT(r.fusion.convs_fused, 0);
+  EXPECT_GT(r.dma_bytes_elided, 0);
+
   // Every layer's decomposition is exact over its own basis, and the layer
   // bases tile the network basis exactly (the per-step maxima sum to the
   // end-to-end cycle count).

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "ops/explicit_conv.hpp"
 #include "ops/implicit_conv.hpp"
 #include "ops/reference.hpp"
@@ -126,6 +127,88 @@ TEST(ImplicitConv, SpaceRespectsBatchConstraint) {
     if (f.name != "Tco") continue;
     for (std::int64_t c : f.candidates) EXPECT_EQ(c % 8, 0);
   }
+}
+
+dsl::EpilogueSpec full_epilogue() {
+  dsl::EpilogueSpec epi;
+  epi.bias = true;
+  epi.residual = true;
+  epi.relu = true;
+  return epi;
+}
+
+TEST(FusedImplicitConv, BiasReluMatchesReference) {
+  dsl::EpilogueSpec epi;
+  epi.bias = true;
+  epi.relu = true;
+  ImplicitConvOp op(small_shape(8, 32, 32, 8), epi);
+  EXPECT_NE(op.name().find("+epi["), std::string::npos);
+  EXPECT_LE(run_and_check(op, implicit_strategy(32, 32, 4, "no_major",
+                                                "rcouvi", "6")),
+            2e-3);
+}
+
+TEST(FusedImplicitConv, ResidualAddMatchesReference) {
+  ImplicitConvOp op(small_shape(8, 32, 32, 8), full_epilogue());
+  EXPECT_LE(run_and_check(op, implicit_strategy(32, 32, 4, "no_major",
+                                                "rcouvi", "6")),
+            2e-3);
+}
+
+TEST(FusedImplicitConv, VecMVariantSwapsTileOrientation) {
+  // Variant 0 vectorizes M, so the C tile lands transposed in SPM; the
+  // epilogue must follow the swapped orientation (channels on columns).
+  ImplicitConvOp op(small_shape(8, 32, 32, 8), full_epilogue());
+  EXPECT_LE(run_and_check(op, implicit_strategy(32, 32, 4, "no_major",
+                                                "rcouvi", "0")),
+            2e-3);
+}
+
+TEST(FusedImplicitConv, RaggedChannelsAndColumns) {
+  // Ni/No not multiples of 32: bias channel0 and the residual view must
+  // track the ragged tile bases.
+  ImplicitConvOp op(small_shape(8, 48, 48, 7), full_epilogue());
+  EXPECT_LE(run_and_check(op, implicit_strategy(32, 32, 4, "no_major",
+                                                "rcouvi", "6")),
+            2e-3);
+}
+
+TEST(FusedImplicitConv, OutPadInteriorMatchesReference) {
+  dsl::EpilogueSpec epi;
+  epi.bias = true;
+  epi.relu = true;
+  epi.out_pad = 1;  // absorbed downstream Pad: interior written at offset
+  ImplicitConvOp op(small_shape(8, 32, 32, 8), epi);
+  EXPECT_LE(run_and_check(op, implicit_strategy(32, 32, 4, "no_major",
+                                                "rcouvi", "6")),
+            2e-3);
+}
+
+TEST(FusedImplicitConv, OutPadWithResidualMatchesReference) {
+  dsl::EpilogueSpec epi = full_epilogue();
+  epi.out_pad = 1;
+  ImplicitConvOp op(small_shape(8, 32, 32, 8), epi);
+  EXPECT_LE(run_and_check(op, implicit_strategy(32, 32, 4, "no_major",
+                                                "rcouvi", "6")),
+            2e-3);
+}
+
+TEST(FusedImplicitConv, ReductionOutsideStoreScopePruned) {
+  // rcuvio keeps the r/c reduction loops outside the C tile's store scope,
+  // so the put drains partial sums -- a compute epilogue there would apply
+  // relu to an unfinished accumulator. DMA inference must prune it.
+  ImplicitConvOp op(small_shape(8, 32, 32, 8), full_epilogue());
+  EXPECT_THROW(tune::build_candidate(
+                   op, implicit_strategy(32, 32, 8, "no_major", "rcuvio", "6"),
+                   cfg),
+               swatop::CheckError);
+}
+
+TEST(FusedImplicitConv, SpaceCarriesEpilogue) {
+  ImplicitConvOp op(small_shape(8, 32, 32, 8), full_epilogue());
+  const std::vector<dsl::Strategy> all = op.space().enumerate();
+  ASSERT_FALSE(all.empty());
+  for (const dsl::Strategy& s : all) EXPECT_EQ(s.epilogue(), op.epilogue());
 }
 
 TEST(ExplicitConv, Im2colMatchesDefinition) {

@@ -68,6 +68,86 @@ TEST(StrategySerialize, RejectsMalformedText) {
               dsl::Strategy{});  // value_or falls back on a failed parse
 }
 
+TEST(StrategySerialize, EpilogueRoundTrips) {
+  dsl::Strategy s = sample_strategy();
+  dsl::EpilogueSpec epi;
+  epi.bias = true;
+  epi.relu = true;
+  epi.residual = true;
+  epi.out_pad = 1;
+  s.set_epilogue(epi);
+  const std::string text = s.serialize();
+  EXPECT_EQ(text,
+            "f:Tk=32 f:Tm=64 f:Tn=128 c:boundary=pad c:order=mnk "
+            "c:variant=0 e:bias=1 e:pad=1 e:relu=1 e:res=1");
+  const auto back = dsl::Strategy::parse(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+  EXPECT_EQ(back->epilogue(), epi);
+  // A partial epilogue serializes only its non-default fields.
+  dsl::EpilogueSpec br;
+  br.bias = true;
+  br.relu = true;
+  s.set_epilogue(br);
+  const auto back2 = dsl::Strategy::parse(s.serialize());
+  ASSERT_TRUE(back2.has_value());
+  EXPECT_EQ(back2->epilogue(), br);
+  EXPECT_FALSE(back2->epilogue().residual);
+  EXPECT_EQ(back2->epilogue().out_pad, 0);
+}
+
+TEST(StrategySerialize, RejectsMalformedEpilogue) {
+  // Unknown field, default-valued flags (never serialized), bad pad.
+  EXPECT_FALSE(dsl::Strategy::parse("e:pool=1").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("e:bias=0").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("e:relu=2").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("e:res=0").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("e:pad=0").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("e:pad=-1").has_value());
+  EXPECT_FALSE(dsl::Strategy::parse("f:Tm=64 e:bias=yes").has_value());
+}
+
+TEST(ScheduleCache, EpilogueVersionBumpInvalidatesV1File) {
+  // kVersion went 1 -> 2 when the banked strategy text gained epilogue
+  // fields: a v1 cache (no e: tokens) must be ignored wholesale, never
+  // reinterpreted as epilogue-free entries.
+  const std::string path = temp_cache_path("v1");
+  {
+    std::ofstream out(path);
+    out << "# swatop-schedule-cache v1\n";
+    out << "v1-key\t100\t200\t1\tf:Tm=64 c:order=mnk\n";
+  }
+  ScheduleCache cache(disk_cfg(path));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("v1-key").has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(ScheduleCache, CorruptEpilogueFieldIsSkippedNotFatal) {
+  const std::string path = temp_cache_path("epi-corrupt");
+  dsl::Strategy fused = sample_strategy();
+  dsl::EpilogueSpec epi;
+  epi.bias = true;
+  epi.relu = true;
+  fused.set_epilogue(epi);
+  {
+    std::ofstream out(path);
+    out << ScheduleCache::file_header() << "\n";
+    out << "fused-key\t100\t200\t1\t" << fused.serialize() << "\n";
+    out << "bad-epi-name\t1\t2\t0\tf:Tm=64 e:pool=1\n";
+    out << "bad-epi-flag\t1\t2\t0\tf:Tm=64 e:bias=0\n";
+    out << "bad-epi-pad\t1\t2\t0\tf:Tm=64 e:pad=-3\n";
+  }
+  ScheduleCache cache(disk_cfg(path));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.corrupt_entries_skipped(), 3);
+  const auto got = cache.lookup("fused-key");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->strategy, fused);
+  EXPECT_EQ(got->strategy.epilogue(), epi);
+  std::filesystem::remove(path);
+}
+
 TEST(ScheduleCache, MemoryRoundTrip) {
   ScheduleCache cache(disk_cfg(""));
   CacheEntry e;

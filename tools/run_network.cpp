@@ -17,9 +17,7 @@
 
 #include "common/check.hpp"
 #include "graph/build.hpp"
-#include "graph/engine.hpp"
-#include "graph/net_report.hpp"
-#include "tune/journal.hpp"
+#include "graph/compile.hpp"
 
 namespace {
 
@@ -32,6 +30,8 @@ void usage() {
          "(default auto)\n"
          "         [--timing-only]     price the run without moving data\n"
          "         [--no-check]        skip the whole-net reference check\n"
+         "         [--no-fusion]       disable epilogue fusion (ablation)\n"
+         "         [--no-residency]    disable inter-layer SPM residency\n"
          "         [--tol X]           check tolerance (default 1e-4)\n"
          "         [--cache FILE]      persistent schedule cache\n"
          "         [--report FILE]     write the Chrome trace JSON\n"
@@ -73,7 +73,6 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string journal_path;
   bool full_report = false;
-  swatop::tune::Journal journal;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -92,6 +91,10 @@ int main(int argc, char** argv) {
       opts.mode = swatop::sim::ExecMode::TimingOnly;
     } else if (a == "--no-check") {
       opts.check = false;
+    } else if (a == "--no-fusion") {
+      opts.fusion = false;
+    } else if (a == "--no-residency") {
+      opts.residency = false;
     } else if (a == "--tol") {
       opts.tolerance = std::strtod(next(), nullptr);
     } else if (a == "--cache") {
@@ -102,10 +105,8 @@ int main(int argc, char** argv) {
       cfg.observability.enabled = true;
     } else if (a == "--full-report") {
       full_report = true;
-      cfg.journal = &journal;
     } else if (a == "--journal") {
       journal_path = next();
-      cfg.journal = &journal;
     } else {
       std::cerr << "unknown option '" << a << "'\n";
       usage();
@@ -114,11 +115,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const swatop::graph::Graph g = swatop::graph::build_net(net);
-    swatop::graph::GraphEngine engine(cfg);
-    const swatop::graph::NetRunResult r = engine.run(g, batch, opts);
+    // compile() is the fusion-aware front door: it owns the tuning journal
+    // and keeps the report attached to the run that produced it.
+    swatop::CompiledNet compiled =
+        swatop::compile(swatop::graph::build_net(net), cfg);
+    const swatop::graph::NetRunResult r = compiled.run(batch, opts);
 
-    std::printf("== %s  batch %lld  groups %d  (%s) ==\n", g.name().c_str(),
+    std::printf("== %s  batch %lld  groups %d  (%s) ==\n",
+                compiled.graph().name().c_str(),
                 static_cast<long long>(batch), r.groups_used,
                 opts.mode == swatop::sim::ExecMode::Functional
                     ? "functional"
@@ -165,15 +169,12 @@ int main(int argc, char** argv) {
                   opts.tolerance);
 
     if (full_report) {
-      swatop::graph::NetReportOptions ro;
-      ro.journal = &journal;
-      std::printf("\n%s",
-                  swatop::graph::net_report(r, cfg.machine, ro).c_str());
+      std::printf("\n%s", compiled.report().c_str());
     }
     if (!journal_path.empty()) {
-      if (journal.write_jsonl(journal_path))
+      if (compiled.journal().write_jsonl(journal_path))
         std::printf("journal: %s (%zu entries)\n", journal_path.c_str(),
-                    journal.size());
+                    compiled.journal().size());
       else
         std::fprintf(stderr, "failed to write journal %s\n",
                      journal_path.c_str());

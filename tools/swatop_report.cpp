@@ -23,10 +23,8 @@
 #include <string>
 
 #include "common/check.hpp"
-#include "core/swatop.hpp"
 #include "graph/build.hpp"
-#include "graph/engine.hpp"
-#include "graph/net_report.hpp"
+#include "graph/compile.hpp"
 #include "obs/attribution.hpp"
 #include "obs/roofline.hpp"
 #include "ops/implicit_conv.hpp"
@@ -78,8 +76,6 @@ struct CommonArgs {
 int report_net(const std::string& net, std::int64_t batch, int argc,
                char** argv, int i0) {
   swatop::SwatopConfig cfg;
-  swatop::tune::Journal journal;
-  cfg.journal = &journal;
   swatop::graph::NetOptions opts;
   opts.mode = swatop::sim::ExecMode::TimingOnly;
   opts.check = false;
@@ -109,19 +105,16 @@ int report_net(const std::string& net, std::int64_t batch, int argc,
     }
   }
 
-  const swatop::graph::Graph g = swatop::graph::build_net(net);
-  swatop::graph::GraphEngine engine(cfg);
-  const swatop::graph::NetRunResult r = engine.run(g, batch, opts);
+  swatop::CompiledNet compiled =
+      swatop::compile(swatop::graph::build_net(net), cfg);
+  compiled.run(batch, opts);
 
-  swatop::graph::NetReportOptions ro;
-  ro.journal = &journal;
   if (c.json)
-    std::printf("%s\n",
-                swatop::graph::net_report_json(r, cfg.machine, ro).c_str());
+    std::printf("%s\n", compiled.report_json().c_str());
   else
-    std::printf("%s",
-                swatop::graph::net_report(r, cfg.machine, ro).c_str());
-  if (!c.journal_path.empty()) journal.write_jsonl(c.journal_path);
+    std::printf("%s", compiled.report().c_str());
+  if (!c.journal_path.empty())
+    compiled.journal().write_jsonl(c.journal_path);
   return 0;
 }
 
@@ -164,8 +157,6 @@ int report_op(int argc, char** argv, int i0) {
   swatop::SwatopConfig cfg;
   cfg.observability.enabled = true;
   cfg.measure_best = true;
-  swatop::tune::Journal journal;
-  cfg.journal = &journal;
   CommonArgs c;
   for (int i = i0; i < argc; ++i) {
     const std::string a = argv[i];
@@ -190,8 +181,10 @@ int report_op(int argc, char** argv, int i0) {
     }
   }
 
-  auto [tuned, r] =
-      swatop::optimize_and_run(cfg, *op, swatop::sim::ExecMode::TimingOnly);
+  swatop::CompiledOp compiled = swatop::compile(*op, cfg);
+  const swatop::OptimizedOperator& tuned = compiled.handle();
+  const swatop::rt::RunResult r =
+      compiled.run(swatop::sim::ExecMode::TimingOnly);
   const swatop::obs::Counters& cnt = r.profile.counters;
   const swatop::obs::Attribution attr = swatop::obs::attribute(cnt);
   const swatop::obs::RooflineMachine m =
@@ -208,7 +201,7 @@ int report_op(int argc, char** argv, int i0) {
         r.cycles, tuned.predicted_cycles,
         swatop::obs::attribution_json(attr).c_str(),
         swatop::obs::roofline_json(pts, m).c_str(),
-        swatop::tune::journal_summary_json(journal).c_str());
+        swatop::tune::journal_summary_json(compiled.journal()).c_str());
   } else {
     std::printf("%s: picked %s, %.0f cycles (model predicted %.0f)\n\n",
                 op->name().c_str(),
@@ -216,10 +209,11 @@ int report_op(int argc, char** argv, int i0) {
                 tuned.predicted_cycles);
     std::fputs(swatop::obs::attribution_report(attr).c_str(), stdout);
     std::printf("\n%s", swatop::obs::roofline_report(pts, m).c_str());
-    std::printf("\n%s", swatop::tune::journal_summary(journal).c_str());
+    std::printf("\n%s", swatop::tune::journal_summary(compiled.journal()).c_str());
     std::printf("\n%s", r.profile.report().c_str());
   }
-  if (!c.journal_path.empty()) journal.write_jsonl(c.journal_path);
+  if (!c.journal_path.empty())
+    compiled.journal().write_jsonl(c.journal_path);
   return 0;
 }
 
