@@ -214,6 +214,12 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     tune_t0)
           .count();
+  if (const tune::ReplayExecutor* rx = optimizer.replay_executor()) {
+    const tune::ReplayStats rs = rx->stats();
+    res.replay_hits = rs.hits;
+    res.replay_misses = rs.misses;
+    res.replay_fallbacks = rs.fallbacks;
+  }
 
   // --- Memory plan + per-group setup (arena, weights, input fill). ---
   sim::Chip chip(cfg_.machine, G);
@@ -598,6 +604,9 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
     rec->tune().seconds = res.tune_seconds;
     rec->tune().cache_hits = res.cache_hits;
     rec->tune().cache_misses = res.shapes_tuned - res.cache_hits;
+    rec->tune().replay_hits = res.replay_hits;
+    rec->tune().replay_misses = res.replay_misses;
+    rec->tune().replay_fallbacks = res.replay_fallbacks;
     res.profile = obs::Profile::snapshot(*rec);
   }
   return res;

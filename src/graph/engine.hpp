@@ -119,6 +119,11 @@ struct NetRunResult {
   std::int64_t shapes_tuned = 0;  ///< distinct (method, shape) tuned
   std::int64_t cache_hits = 0;    ///< of those, served from the cache
   double tune_seconds = 0.0;
+  /// Trace-replay fast path over the whole tuning phase (all zero unless
+  /// SwatopConfig::replay.enabled) -- see tune/replay.hpp.
+  std::int64_t replay_hits = 0;
+  std::int64_t replay_misses = 0;
+  std::int64_t replay_fallbacks = 0;
 
   sim::CgStats chip_stats;  ///< summed over groups (all fields)
   std::vector<LayerReport> layers;

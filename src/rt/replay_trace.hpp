@@ -1,0 +1,84 @@
+// Trace-replay fast path, recording side (ROADMAP item 2; in the spirit of
+// ONNXim's trace-driven measurement).
+//
+// A timing-only interpreter run walks every loop iteration, evaluates every
+// extent/address expression and prices every primitive. All of that work
+// resolves, for a fixed (program, tensor binding, machine), into a *flat
+// schedule of booking events* on the core group: compute advances, DMA
+// issues with a fully priced cost, waits, synchronous charges. Recording
+// that flat schedule once lets later measurements of a structurally
+// identical candidate replay the event list with no per-iteration
+// expression evaluation -- and, because each event carries the exact
+// double-precision operands the interpreter handed the core group, the
+// replayed clock and statistics are bit-identical to a fresh interpreter
+// run (tune/replay.cpp holds the replay loop and the differential oracle).
+//
+// The replay loop is memory-bound on the event stream (a trace of a deep
+// CONV layer runs to hundreds of thousands of events), so the layout is
+// split: a 16-byte base event carries what every kind needs, and the bulky
+// per-kind payloads (DMA costs, GEMM statistics, elided byte counts) live
+// in side streams consumed sequentially -- the base stream fixes the global
+// booking order, so each side stream's own order is enough.
+//
+// This header lives in rt/ so the interpreter can record without depending
+// on the tuner; the replay executor (tune/replay.hpp) consumes it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "sim/core_group.hpp"
+#include "sim/dma.hpp"
+
+namespace swatop::rt {
+
+/// One booking the timing interpreter made against the core group. The
+/// event kinds mirror the CoreGroup entry points one-to-one so the replay
+/// loop can reproduce the exact arithmetic (same operations, same order).
+struct ReplayEvent {
+  enum class Kind : std::uint8_t {
+    Compute,    ///< advance_compute(cycles): zero-fills, epilogue vector ops
+    DmaIssue,   ///< async book_dma(cost); completion parked on `slot`
+    DmaElide,   ///< resident operand: no booking, bytes counted, slot = now
+    DmaSync,    ///< book_dma(cost) + wait (epilogue residual / bias charge)
+    SyncElide,  ///< resident epilogue residual: bytes counted only
+    Wait,       ///< dma_wait on `slot` (wait_until + slot clear)
+    Gemm,       ///< advance_compute(cycles) + GEMM statistics block
+  };
+
+  Kind kind = Kind::Compute;
+  std::int32_t slot = 0;  ///< reply slot (DmaIssue / DmaElide / Wait)
+  double cycles = 0.0;    ///< Compute / Gemm: cycles to advance
+
+  // Payloads by kind, in the side streams of ReplayTrace:
+  //   DmaIssue / DmaSync   -> next entry of `dma_costs`
+  //   DmaElide / SyncElide -> next entry of `elided_bytes`
+  //   Gemm                 -> next entry of `gemm_extras`
+};
+
+/// GEMM statistics beyond the cycle advance (the timing interpreter's
+/// memoized fast path).
+struct ReplayGemmExtra {
+  double comm_cycles = 0.0;
+  std::int64_t flops = 0;
+  obs::PipeCounters pipe;
+};
+
+/// A recorded run: the event list plus the recording run's own results, so
+/// the replay loop can be checked bit-for-bit against what was recorded.
+struct ReplayTrace {
+  std::vector<ReplayEvent> events;
+  std::vector<sim::DmaCost> dma_costs;      ///< DmaIssue + DmaSync, in order
+  std::vector<std::int64_t> elided_bytes;   ///< DmaElide + SyncElide, in order
+  std::vector<ReplayGemmExtra> gemm_extras; ///< Gemm, in order
+  double cycles = 0.0;          ///< final clock of the recording run
+  sim::CgStats stats;           ///< statistics of the recording run
+  std::int64_t bytes_elided = 0;
+  /// Set when the recording run finished normally in TimingOnly mode; a
+  /// trace left incomplete (functional mode, a thrown sanitizer) must not
+  /// be replayed.
+  bool complete = false;
+};
+
+}  // namespace swatop::rt

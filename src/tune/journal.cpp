@@ -107,6 +107,10 @@ ModelErrorStats model_error_stats(const std::vector<JournalEntry>& entries) {
   ModelErrorStats s;
   std::vector<double> pred, meas;
   for (const JournalEntry& e : entries) {
+    // Sign tests alone let NaN through (every NaN comparison is false),
+    // which would poison the means and break frac_ranks' sort ordering;
+    // require finite values explicitly.
+    if (!std::isfinite(e.predicted) || !std::isfinite(e.measured)) continue;
     if (e.predicted < 0.0 || e.measured <= 0.0) continue;
     pred.push_back(e.predicted);
     meas.push_back(e.measured);
@@ -123,7 +127,8 @@ ModelErrorStats model_error_stats(const std::vector<JournalEntry>& entries) {
 std::vector<double> regret_curve(const std::vector<JournalEntry>& entries) {
   std::vector<double> meas;
   for (const JournalEntry& e : entries)
-    if (e.measured >= 0.0) meas.push_back(e.measured);
+    if (std::isfinite(e.measured) && e.measured >= 0.0)
+      meas.push_back(e.measured);
   std::vector<double> curve;
   curve.reserve(meas.size());
   if (meas.empty()) return curve;

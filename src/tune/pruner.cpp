@@ -1,0 +1,144 @@
+#include "tune/pruner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/least_squares.hpp"
+
+namespace swatop::tune {
+
+namespace {
+
+/// FNV-1a, stable across platforms (feature buckets must not depend on
+/// std::hash).
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::size_t kFactorBuckets = 16;
+constexpr std::size_t kChoiceBuckets = 16;
+
+}  // namespace
+
+std::vector<double> RankingPruner::features(const dsl::Strategy& s) {
+  std::vector<double> x(kDim, 0.0);
+  x[0] = 1.0;  // bias
+  // Strategy exposes no iteration over its variables; its serialize() form
+  // is the canonical, sorted, whitespace-free token list ("f:name=int",
+  // "c:name=opt", "e:field=int") and tokenizes trivially.
+  std::istringstream is(s.serialize());
+  std::string tok;
+  while (is >> tok) {
+    if (tok.size() < 4 || tok[1] != ':') continue;
+    const std::size_t eq = tok.find('=', 2);
+    if (eq == std::string::npos || eq + 1 >= tok.size()) continue;
+    const std::string name = tok.substr(2, eq - 2);
+    const std::string value = tok.substr(eq + 1);
+    if (tok[0] == 'f') {
+      // Tiling factors: magnitude matters (cycles scale with tile sizes),
+      // so the bucket carries 1 + log2(v) rather than a flat indicator.
+      const std::int64_t v = std::strtoll(value.c_str(), nullptr, 10);
+      const std::size_t b = 1 + fnv1a(name) % kFactorBuckets;
+      x[b] += 1.0 + std::log2(static_cast<double>(std::max<std::int64_t>(
+                        1, v)));
+    } else {
+      // Choices and epilogue flags: categorical; hash name=value so each
+      // option gets its own bucket weight.
+      const std::size_t b =
+          1 + kFactorBuckets +
+          fnv1a(name + "=" + value) % kChoiceBuckets;
+      x[b] += 1.0;
+    }
+  }
+  return x;
+}
+
+void RankingPruner::observe(const dsl::Strategy& s, double measured_cycles) {
+  if (!opts_.enabled) return;
+  if (!std::isfinite(measured_cycles) || measured_cycles <= 0.0) return;
+  const std::vector<double> x = features(s);
+  const double y = std::log(measured_cycles);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < kDim; ++i) {
+    xty_[i] += x[i] * y;
+    for (std::size_t j = 0; j < kDim; ++j) xtx_[i * kDim + j] += x[i] * x[j];
+  }
+  ++samples_;
+  dirty_ = true;
+  coef_.clear();
+}
+
+bool RankingPruner::fit_locked() const {
+  if (!dirty_ && !coef_.empty()) return true;
+  if (samples_ < opts_.min_train_samples) return false;
+  std::vector<double> a = xtx_;
+  for (std::size_t i = 0; i < kDim; ++i) a[i * kDim + i] += opts_.ridge;
+  try {
+    coef_ = solve_linear(std::move(a), xty_, kDim);
+  } catch (const CheckError&) {
+    // Singular even with the ridge (degenerate feature set): stay inert
+    // until more observations arrive.
+    coef_.clear();
+    return false;
+  }
+  dirty_ = false;
+  return true;
+}
+
+std::int64_t RankingPruner::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+bool RankingPruner::trained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fit_locked();
+}
+
+PruneDecision RankingPruner::prune(
+    const std::vector<sched::Candidate>& cands) const {
+  PruneDecision d;
+  if (!opts_.enabled || cands.empty()) return d;
+  std::vector<double> coef;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!fit_locked()) return d;
+    coef = coef_;
+  }
+  d.active = true;
+  d.predicted.resize(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const std::vector<double> x = features(cands[i].strategy);
+    double score = 0.0;
+    for (std::size_t j = 0; j < kDim; ++j) score += coef[j] * x[j];
+    d.predicted[i] = std::exp(score);
+  }
+  const std::int64_t n = static_cast<std::int64_t>(cands.size());
+  std::int64_t kept = static_cast<std::int64_t>(
+      std::ceil(opts_.keep_fraction * static_cast<double>(n)));
+  kept = std::clamp<std::int64_t>(std::max(kept, opts_.min_keep), 1, n);
+  // Keep the `kept` best predicted; ties break towards the lower index so
+  // the decision is deterministic.
+  std::vector<std::size_t> idx(cands.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return d.predicted[a] < d.predicted[b];
+  });
+  d.keep.assign(cands.size(), 0);
+  for (std::int64_t r = 0; r < kept; ++r)
+    d.keep[idx[static_cast<std::size_t>(r)]] = 1;
+  d.kept = kept;
+  return d;
+}
+
+}  // namespace swatop::tune

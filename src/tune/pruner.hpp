@@ -1,0 +1,89 @@
+// Journal-trained ranking pruner: an online least-squares model over
+// strategy features that cuts the black-box tuner's measured set before the
+// (already fast) trace-replay measurements.
+//
+// The paper's model-based autotuner ranks with a hand-built analytical
+// model; this pruner is the data-driven complement: it trains on the
+// (strategy, measured cycles) pairs the tuning journal records -- no
+// hand-modeling, reusing common/least_squares -- and predicts log-cycles
+// from hashed strategy features. Until enough samples accumulate the
+// pruner is inert (every candidate is measured), so the tuner's argmin at
+// default settings is unchanged; once trained it keeps the top
+// keep_fraction of candidates by predicted cycles (never fewer than
+// min_keep), and the journal's regret curve records what the cut cost.
+//
+// Training accumulates the normal equations incrementally (d x d with
+// d = 33), so observe() is O(d^2) and no sample storage grows with the
+// search space.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+#include "sched/scheduler.hpp"
+
+namespace swatop::tune {
+
+struct PrunerOptions {
+  bool enabled = false;  ///< master switch: prune() is inert when off
+  /// Fraction of the candidate set kept for measurement once trained.
+  double keep_fraction = 0.5;
+  /// Never keep fewer candidates than this (a mis-trained model must not
+  /// be able to prune the search to nothing).
+  std::int64_t min_keep = 8;
+  /// Observations required before the model is trusted to prune.
+  std::int64_t min_train_samples = 32;
+  /// Ridge regularizer added to the normal equations' diagonal (hashed
+  /// features collide; plain least squares can go singular).
+  double ridge = 1e-3;
+};
+
+/// The pruning verdict for one candidate set. `active == false` (pruner
+/// off, still warming up, or a singular fit) means: measure everything,
+/// the other members are empty.
+struct PruneDecision {
+  bool active = false;
+  std::vector<double> predicted;  ///< predicted cycles, per candidate
+  std::vector<char> keep;         ///< 1 = measure, 0 = pruned
+  std::int64_t kept = 0;
+};
+
+class RankingPruner {
+ public:
+  explicit RankingPruner(PrunerOptions opts = {}) : opts_(opts) {}
+
+  /// Feed one measurement (the tuners call this for every candidate they
+  /// actually ran). Non-finite or non-positive cycles are ignored.
+  /// Thread-safe.
+  void observe(const dsl::Strategy& s, double measured_cycles);
+
+  /// Decide which of `cands` to measure. Thread-safe; refits lazily when
+  /// new observations arrived since the last fit.
+  PruneDecision prune(const std::vector<sched::Candidate>& cands) const;
+
+  std::int64_t samples() const;
+  bool trained() const;
+
+  /// Feature dimension: bias + 16 hashed factor buckets (magnitude
+  /// log-scaled) + 16 hashed choice buckets (one-hot-ish).
+  static constexpr std::size_t kDim = 33;
+
+  /// Hashed feature vector of one strategy (exposed for tests).
+  static std::vector<double> features(const dsl::Strategy& s);
+
+ private:
+  bool fit_locked() const;  ///< requires mu_; true when coef_ is usable
+
+  PrunerOptions opts_;
+  mutable std::mutex mu_;
+  // Running normal equations: xtx_ += x x^T, xty_ += x * log(cycles).
+  std::vector<double> xtx_ = std::vector<double>(kDim * kDim, 0.0);
+  std::vector<double> xty_ = std::vector<double>(kDim, 0.0);
+  std::int64_t samples_ = 0;
+  mutable std::vector<double> coef_;  ///< empty until fitted
+  mutable bool dirty_ = false;
+};
+
+}  // namespace swatop::tune

@@ -1,6 +1,7 @@
 #include "tune/schedule_cache.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,7 +23,12 @@ bool parse_double(const std::string& s, double* out) {
   errno = 0;
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  // Reject trailing garbage ("123abc"), out-of-range values, and the
+  // non-finite spellings strtod accepts ("nan", "inf"): a corrupted cache
+  // line must not inject NaN/Inf cycles into the warm path, where every
+  // comparison against them silently goes one way.
+  if (errno != 0 || end == s.c_str() || *end != '\0' || !std::isfinite(v))
+    return false;
   *out = v;
   return true;
 }
@@ -96,11 +102,15 @@ void ScheduleCache::load_file_locked() {
     if (line.empty() || line[0] == '#') continue;
     CacheEntry e;
     std::optional<dsl::Strategy> s;
-    if (!split_fields(line, 5, &f) || f[0].empty() ||
+    // Cheap field checks first; Strategy::parse (tokenizing, allocating)
+    // runs last and only on lines whose other fields already validated --
+    // in particular the empty-strategy check short-circuits *before* the
+    // parse, which would otherwise accept "" as an empty strategy.
+    if (!split_fields(line, 5, &f) || f[0].empty() || f[4].empty() ||
         !parse_double(f[1], &e.predicted_cycles) ||
         !parse_double(f[2], &e.measured_cycles) ||
         (f[3] != "0" && f[3] != "1") ||
-        !(s = dsl::Strategy::parse(f[4])) || f[4].empty()) {
+        !(s = dsl::Strategy::parse(f[4]))) {
       ++corrupt_;  // skip, never crash: a corrupt cache only loses reuse
       continue;
     }

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -558,6 +560,61 @@ TEST(Journal, ModelErrorAndRegretStatistics) {
   EXPECT_NE(sum.find("model"), std::string::npos);
   JsonValidator v(tune::journal_summary_json(j));
   EXPECT_TRUE(v.valid());
+}
+
+TEST(Journal, RankCorrelationAllTies) {
+  // Every prediction identical: frac_ranks assigns all entries the same
+  // average rank, rank variance is zero, and the Spearman coefficient must
+  // come out a defined 0.0 -- not NaN from a 0/0.
+  tune::Journal j;
+  j.append({"op", "model", "s0", 0, 0, 50.0, 100.0, false});
+  j.append({"op", "model", "s1", 1, 1, 50.0, 90.0, false});
+  j.append({"op", "model", "s2", 2, 2, 50.0, 95.0, true});
+  const tune::ModelErrorStats st = tune::model_error_stats(j.entries());
+  EXPECT_EQ(st.samples, 3);
+  EXPECT_DOUBLE_EQ(st.rank_corr, 0.0);
+  EXPECT_TRUE(std::isfinite(st.mean_rel_err));
+}
+
+TEST(Journal, RankCorrelationPartialTies) {
+  // Tied predictions share the average of the ranks they span (the
+  // standard Spearman tie treatment); with measured values ordered the
+  // same way the coefficient is positive but below 1.
+  tune::Journal j;
+  j.append({"op", "model", "s0", 0, 0, 50.0, 10.0, false});
+  j.append({"op", "model", "s1", 1, 1, 50.0, 20.0, false});
+  j.append({"op", "model", "s2", 2, 2, 80.0, 30.0, false});
+  j.append({"op", "model", "s3", 3, 3, 90.0, 40.0, true});
+  const tune::ModelErrorStats st = tune::model_error_stats(j.entries());
+  EXPECT_EQ(st.samples, 4);
+  // Predicted ranks (avg on ties): 0.5, 0.5, 2, 3; measured: 0, 1, 2, 3.
+  // Pearson over those rank vectors = 4.5 / sqrt(4.5 * 5) = sqrt(0.9).
+  EXPECT_NEAR(st.rank_corr, std::sqrt(0.9), 1e-12);
+  EXPECT_GT(st.rank_corr, 0.9);
+  EXPECT_LT(st.rank_corr, 1.0);
+}
+
+TEST(Journal, NonFiniteSamplesAreExcluded) {
+  // NaN passes `predicted < 0` / `measured <= 0` (every NaN comparison is
+  // false); the stats must filter on finiteness or one poisoned entry
+  // turns the means and the regret curve into NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  tune::Journal j;
+  j.append({"op", "model", "s0", 0, 0, 100.0, 110.0, false});
+  j.append({"op", "model", "s1", 1, 1, nan, 90.0, false});
+  j.append({"op", "model", "s2", 2, 2, 95.0, nan, false});
+  j.append({"op", "model", "s3", 3, 3, inf, 95.0, false});
+  j.append({"op", "model", "s4", 4, 4, 120.0, 130.0, true});
+  const tune::ModelErrorStats st = tune::model_error_stats(j.entries());
+  EXPECT_EQ(st.samples, 2);
+  EXPECT_TRUE(std::isfinite(st.mean_rel_err));
+  EXPECT_TRUE(std::isfinite(st.rank_corr));
+  // regret_curve filters on `measured` only: the NaN measurement drops,
+  // the Inf-*predicted* (but finitely measured) entry stays.
+  const std::vector<double> regret = tune::regret_curve(j.entries());
+  ASSERT_EQ(regret.size(), 4u);
+  for (double r : regret) EXPECT_TRUE(std::isfinite(r));
 }
 
 TEST(Journal, JsonlSerializesUnevaluatedAsNull) {

@@ -272,6 +272,35 @@ TEST(ScheduleCache, CorruptEntriesAreSkippedNotFatal) {
   std::filesystem::remove(path);
 }
 
+TEST(ScheduleCache, NonFiniteCyclesAreRejected) {
+  // strtod happily parses "nan"/"inf"; a corrupted (or hand-edited) cache
+  // line must not inject non-finite cycles into the warm path, where every
+  // comparison against NaN silently goes one way. Regression test for the
+  // parse_double finiteness check.
+  const std::string path = temp_cache_path("nonfinite");
+  {
+    std::ofstream out(path);
+    out << ScheduleCache::file_header() << "\n";
+    out << "good-key\t100\t200\t1\t" << sample_strategy().serialize()
+        << "\n";
+    out << "nan-pred\tnan\t200\t1\tf:Tm=64\n";
+    out << "nan-meas\t100\tNaN\t0\tf:Tm=64\n";
+    out << "inf-pred\tinf\t200\t1\tf:Tm=64\n";
+    out << "neg-inf-meas\t100\t-inf\t0\tf:Tm=64\n";
+    out << "overflow\t1e999\t200\t1\tf:Tm=64\n";
+    out << "trailing-garbage\t100abc\t200\t1\tf:Tm=64\n";
+  }
+  ScheduleCache cache(disk_cfg(path));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.corrupt_entries_skipped(), 6);
+  const auto got = cache.lookup("good-key");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->predicted_cycles, 100.0);
+  EXPECT_FALSE(cache.lookup("nan-pred").has_value());
+  EXPECT_FALSE(cache.lookup("inf-pred").has_value());
+  std::filesystem::remove(path);
+}
+
 TEST(ScheduleCache, ReadOnlyNeverTouchesDisk) {
   const std::string path = temp_cache_path("readonly");
   {

@@ -283,9 +283,33 @@ int compare_files(const BenchFile& base, const BenchFile& cur,
       }
       ++checked;
       const double cval = mit->second;
-      const double denom = std::abs(bval) > 1e-12 ? std::abs(bval) : 1.0;
-      const double rel = (cval - bval) / denom;
       const double tol = tol_for(opt, metric);
+      // Non-finite values can never pass a tolerance gate silently: every
+      // comparison against NaN is false, which would read as "within
+      // tolerance" here.
+      if (!std::isfinite(bval) || !std::isfinite(cval)) {
+        std::printf("  FAIL %s.%s: non-finite value (baseline %g, "
+                    "current %g)\n",
+                    case_name.c_str(), metric.c_str(), bval, cval);
+        ++failures;
+        continue;
+      }
+      if (std::abs(bval) <= 1e-12) {
+        // Zero-valued baseline (e.g. dma_bytes_elided in the fusion-off
+        // ablation): a relative diff is meaningless -- dividing by a
+        // stand-in denominator of 1.0 would compare an *absolute* diff
+        // against the *relative* tolerance, silently passing huge
+        // regressions on large-magnitude metrics and spuriously failing
+        // tiny jitter on small ones. Gate absolutely instead: any value
+        // distinguishable from zero is a change.
+        if (std::abs(cval) > 1e-9) {
+          std::printf("  FAIL %s.%s: zero baseline but current %g\n",
+                      case_name.c_str(), metric.c_str(), cval);
+          ++failures;
+        }
+        continue;
+      }
+      const double rel = (cval - bval) / std::abs(bval);
       if (std::abs(rel) > tol) {
         std::printf("  FAIL %s.%s: %g -> %g (%+.2f%%, tol %.2f%%)\n",
                     case_name.c_str(), metric.c_str(), bval, cval,
