@@ -108,6 +108,7 @@ struct GroupState {
 
 GraphEngine::GraphEngine(SwatopConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.cache.enabled = true;
+  optimizer_ = std::make_unique<Optimizer>(cfg_);
 }
 
 NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
@@ -175,8 +176,10 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
   res.resident_tensors = static_cast<std::int64_t>(rplan.resident.size());
 
   // --- Tune every distinct (method, shape, sub-batch) exactly once, warm
-  // through the schedule cache. ---
-  Optimizer optimizer(cfg_);
+  // through the schedule cache. The Optimizer persists across run() calls,
+  // so shapes this engine tuned for *any* earlier graph or batch are cache
+  // hits here. ---
+  Optimizer& optimizer = *optimizer_;
   std::unordered_map<std::string, TunedConv> tuned;
   const auto tune_t0 = std::chrono::steady_clock::now();
   for (int idx : order) {
@@ -215,10 +218,14 @@ NetRunResult GraphEngine::run(const Graph& g, std::int64_t batch,
                                     tune_t0)
           .count();
   if (const tune::ReplayExecutor* rx = optimizer.replay_executor()) {
+    // The executor is shared across run() calls; report this run's share.
     const tune::ReplayStats rs = rx->stats();
-    res.replay_hits = rs.hits;
-    res.replay_misses = rs.misses;
-    res.replay_fallbacks = rs.fallbacks;
+    res.replay_hits = rs.hits - replay_hits_seen_;
+    res.replay_misses = rs.misses - replay_misses_seen_;
+    res.replay_fallbacks = rs.fallbacks - replay_fallbacks_seen_;
+    replay_hits_seen_ = rs.hits;
+    replay_misses_seen_ = rs.misses;
+    replay_fallbacks_seen_ = rs.fallbacks;
   }
 
   // --- Memory plan + per-group setup (arena, weights, input fill). ---

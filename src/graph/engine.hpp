@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -145,8 +146,21 @@ class GraphEngine {
   NetRunResult run(const Graph& g, std::int64_t batch,
                    const NetOptions& opts = {});
 
+  /// The engine's Optimizer. Persistent across run() calls, so one
+  /// engine's schedule cache, trace-replay executor and ranking pruner
+  /// warm every graph it ever runs -- the serving path (src/serve/) prices
+  /// many (net, sub-batch) combinations through one engine and re-tunes a
+  /// layer shape only the first time any of them needs it. Per-run replay
+  /// numbers in NetRunResult are deltas against this shared state.
+  const Optimizer& optimizer() const { return *optimizer_; }
+
  private:
   SwatopConfig cfg_;
+  std::unique_ptr<Optimizer> optimizer_;
+  /// Replay-executor totals already attributed to previous run() calls.
+  std::int64_t replay_hits_seen_ = 0;
+  std::int64_t replay_misses_seen_ = 0;
+  std::int64_t replay_fallbacks_seen_ = 0;
 };
 
 }  // namespace swatop::graph

@@ -65,6 +65,20 @@ struct CpeCounters {
   std::int64_t dma_transfers = 0;  ///< transfers this CPE participated in
 };
 
+/// Serving front-end counters (src/serve/): request outcomes and dispatch
+/// traffic of one Server::run. Times are simulated microseconds.
+struct ServeCounters {
+  std::int64_t requests_offered = 0;
+  std::int64_t requests_completed = 0;
+  std::int64_t requests_rejected = 0;  ///< admission refused on arrival
+  std::int64_t requests_shed = 0;      ///< dropped after queueing
+  std::int64_t images_completed = 0;
+  std::int64_t batches_dispatched = 0;
+  std::int64_t slo_violations = 0;  ///< completed late (admission off)
+  double busy_us = 0.0;             ///< fleet chip-time executed
+  double wasted_us = 0.0;           ///< chip-time on parts of shed requests
+};
+
 /// The full counter set of one observed execution.
 struct Counters {
   double total_cycles = 0.0;
@@ -88,6 +102,7 @@ struct Counters {
   /// activation arena's peak versus binding every tensor separately.
   std::int64_t arena_planned_bytes = 0;
   std::int64_t arena_naive_bytes = 0;
+  ServeCounters serve;  ///< serving front-end traffic (src/serve/)
   std::vector<CpeCounters> per_cpe;  ///< sized num_cpes when observed
 };
 

@@ -130,6 +130,22 @@ std::string Profile::report() const {
                  static_cast<double>(c.arena_naive_bytes)),
              mb(c.arena_naive_bytes).c_str()));
   }
+  if (c.serve.requests_offered > 0) {
+    os << "serving (simulated time)\n";
+    line(os, "requests",
+         fmt("%" PRId64 " offered: %" PRId64 " completed, %" PRId64
+             " rejected, %" PRId64 " shed",
+             c.serve.requests_offered, c.serve.requests_completed,
+             c.serve.requests_rejected, c.serve.requests_shed));
+    line(os, "dispatch",
+         fmt("%" PRId64 " batches, %" PRId64 " images completed",
+             c.serve.batches_dispatched, c.serve.images_completed));
+    line(os, "fleet time",
+         fmt("%.1f ms busy, %.1f ms wasted on shed splits",
+             c.serve.busy_us / 1e3, c.serve.wasted_us / 1e3));
+    if (c.serve.slo_violations > 0)
+      line(os, "slo violations", fmt("%" PRId64, c.serve.slo_violations));
+  }
   if (c.sanitizer.total() > 0) {
     os << "sanitizer trips\n";
     if (c.sanitizer.spm_poison_trips > 0)

@@ -13,6 +13,7 @@ const char* category_name(Category c) {
     case Category::Compute: return "compute";
     case Category::Spm: return "spm";
     case Category::Tune: return "tune";
+    case Category::Serve: return "serve";
   }
   SWATOP_UNREACHABLE("bad trace category");
 }
@@ -108,6 +109,18 @@ void write_chrome_trace(std::ostream& os,
   os << ",\n";
   write_metadata(os, "process_name", 1, 0, "tuner (ts = wall-clock us)",
                  false);
+  os << ",\n";
+  write_metadata(os, "process_name", 2, 0,
+                 "serving fleet (ts = simulated us)", false);
+  for (int c = 0; c < 4; ++c) {
+    os << ",\n";
+    const std::string name = "chip" + std::to_string(c);
+    write_metadata(os, "thread_name", 2, Track::kServeChip0 + c, name.c_str(),
+                   true);
+  }
+  os << ",\n";
+  write_metadata(os, "thread_name", 2, Track::kServeAdmission, "admission",
+                 true);
   for (const TraceEvent& e : evs) {
     os << ",\n{\"name\":";
     write_json_string(os, e.name);

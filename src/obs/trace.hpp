@@ -23,6 +23,7 @@ enum class Category : std::uint8_t {
   Compute,  ///< GEMM / zero-fill primitives
   Spm,      ///< scratch-pad allocations
   Tune,     ///< tuner phases (wall-clock time base)
+  Serve,    ///< serving fleet events (simulated-microsecond time base)
 };
 
 const char* category_name(Category c);
@@ -35,14 +36,20 @@ struct Track {
   /// Whole-network timeline, one track per core group (kNetCg0 + g): the
   /// graph engine's per-layer spans with ts = accumulated network cycles.
   static constexpr int kNetCg0 = 8;
+  /// Serving-fleet process (pid 2, ts = simulated microseconds): one track
+  /// per chip (kServeChip0 + chip) carrying sub-batch spans, plus an
+  /// admission track for reject/shed instants.
+  static constexpr int kServeChip0 = 0;
+  static constexpr int kServeAdmission = 64;
 };
 
 struct TraceEvent {
   std::string name;
   Category cat = Category::Run;
-  int pid = 0;       ///< 0 = simulated time (cycles), 1 = wall clock (us)
+  int pid = 0;  ///< 0 = sim time (cycles), 1 = wall clock (us), 2 = serving
+                ///< fleet (simulated us)
   int tid = 0;       ///< track within the process
-  double ts = 0.0;   ///< begin, cycles (pid 0) or microseconds (pid 1)
+  double ts = 0.0;   ///< begin, cycles (pid 0) or microseconds (pid 1/2)
   double dur = 0.0;  ///< duration; 0 with instant=true means instant event
   bool instant = false;
   /// Up to three numeric arguments (bytes, transactions, dims, ...); the

@@ -1,0 +1,62 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace swatop::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Fleet::Fleet(FleetConfig cfg) : cfg_(cfg) {
+  SWATOP_CHECK(cfg_.chips >= 1) << "fleet of " << cfg_.chips << " chips";
+  SWATOP_CHECK(cfg_.groups_per_chip >= 1 && cfg_.groups_per_chip <= 4)
+      << "SW26010 has 4 core groups per chip; asked for "
+      << cfg_.groups_per_chip;
+  chips_.resize(static_cast<std::size_t>(cfg_.chips));
+}
+
+int Fleet::idle_chip(double now_us) const {
+  for (int c = 0; c < cfg_.chips; ++c)
+    if (chips_[static_cast<std::size_t>(c)].free_at_us <= now_us) return c;
+  return -1;
+}
+
+double Fleet::next_free_us(double now_us) const {
+  double t = kInf;
+  for (const ChipStats& c : chips_)
+    if (c.free_at_us > now_us) t = std::min(t, c.free_at_us);
+  return t;
+}
+
+double Fleet::earliest_start_us(double now_us) const {
+  double t = kInf;
+  for (const ChipStats& c : chips_)
+    t = std::min(t, std::max(now_us, c.free_at_us));
+  return t;
+}
+
+double Fleet::dispatch(int chip, double now_us, double exec_us,
+                       std::int64_t images) {
+  SWATOP_CHECK(chip >= 0 && chip < cfg_.chips) << "chip " << chip;
+  SWATOP_CHECK(exec_us > 0.0) << "exec " << exec_us << " us";
+  ChipStats& c = chips_[static_cast<std::size_t>(chip)];
+  SWATOP_CHECK(c.free_at_us <= now_us)
+      << "dispatch to busy chip " << chip << " at " << now_us;
+  c.free_at_us = now_us + exec_us;
+  c.busy_us += exec_us;
+  ++c.batches;
+  c.images += images;
+  return c.free_at_us;
+}
+
+double Fleet::total_busy_us() const {
+  double t = 0.0;
+  for (const ChipStats& c : chips_) t += c.busy_us;
+  return t;
+}
+
+}  // namespace swatop::serve

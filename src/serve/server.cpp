@@ -1,0 +1,464 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace swatop::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Completed-late slack: simulated times are sums of exact chip execution
+/// times, so anything beyond sub-microsecond drift is a real violation.
+constexpr double kLateEpsUs = 1e-6;
+
+/// Greedy ladder decomposition of a request: the part sizes the batcher
+/// would split `images` into if the request were alone in the queue.
+std::vector<std::int64_t> ladder_parts(std::int64_t images,
+                                       const BatcherConfig& bc) {
+  std::vector<std::int64_t> parts;
+  std::int64_t left = images;
+  while (left > 0) {
+    std::int64_t size = bc.ladder.front();
+    for (std::int64_t s : bc.ladder)
+      if (s <= std::min(left, bc.max_batch)) size = s;
+    parts.push_back(size);
+    left -= size;
+  }
+  return parts;
+}
+
+double percentile_ms(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t n = sorted_us.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted_us[rank - 1] / 1e3;
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Shortest-round-trip double formatting (%.17g) so two identical runs
+/// serialize byte-identically.
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, double v, bool comma) {
+  if (comma) out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  append_num(out, v);
+}
+
+void append_kv(std::string& out, const char* key, std::int64_t v,
+               bool comma) {
+  if (comma) out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg, CostProvider& cost, obs::Recorder* rec)
+    : cfg_(std::move(cfg)), cost_(cost), rec_(rec) {
+  SWATOP_CHECK(cfg_.admission.headroom > 0.0)
+      << "admission headroom " << cfg_.admission.headroom;
+}
+
+ServingReport Server::run(const std::vector<Request>& trace) {
+  DynamicBatcher batcher(cfg_.batcher);
+  Fleet fleet(cfg_.fleet);
+  const BatcherConfig& bc = batcher.config();
+
+  ServingReport rep;
+  rep.records.resize(trace.size());
+
+  // Per-request in-flight state, parallel to `trace` / `rep.records`.
+  struct Inflight {
+    double max_finish_us = 0.0;   ///< latest finish among dispatched parts
+    double dispatched_us = 0.0;   ///< chip-time share of dispatched parts
+    bool done = false;
+  };
+  std::vector<Inflight> state(trace.size());
+  std::unordered_map<std::int64_t, std::size_t> index;
+  index.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& r = trace[i];
+    SWATOP_CHECK(!r.net.empty() && r.images >= 1)
+        << "malformed request " << r.id;
+    SWATOP_CHECK(i == 0 || trace[i - 1].arrival_us <= r.arrival_us)
+        << "trace not sorted by arrival at request " << r.id;
+    SWATOP_CHECK(index.emplace(r.id, i).second)
+        << "duplicate request id " << r.id;
+    rep.records[i].req = r;
+    rep.images_offered += r.images;
+  }
+  rep.offered = static_cast<std::int64_t>(trace.size());
+  if (!trace.empty()) {
+    rep.first_arrival_us = trace.front().arrival_us;
+    rep.last_arrival_us = trace.back().arrival_us;
+  }
+
+  const bool tracing = rec_ != nullptr && rec_->tracing();
+  double now = 0.0;
+  double last_finish = 0.0;
+  double depth_integral = 0.0;
+  std::size_t next = 0;  // next trace index to admit
+
+  auto finalize = [&](std::size_t i, Outcome o, double finish_us) {
+    RequestRecord& rec = rep.records[i];
+    Inflight& st = state[i];
+    SWATOP_CHECK(!st.done) << "request " << rec.req.id << " finalized twice";
+    st.done = true;
+    rec.outcome = o;
+    rec.finish_us = finish_us;
+    switch (o) {
+      case Outcome::Completed: {
+        rec.latency_us = finish_us - rec.req.arrival_us;
+        ++rep.completed;
+        rep.images_completed += rec.req.images;
+        last_finish = std::max(last_finish, finish_us);
+        if (rec.latency_us > rec.req.slo_us + kLateEpsUs) ++rep.slo_violations;
+        break;
+      }
+      case Outcome::Rejected:
+        ++rep.rejected;
+        break;
+      case Outcome::Shed:
+        ++rep.shed;
+        rec.wasted_us = st.dispatched_us;
+        // Parts already on a chip keep running; the fleet stays busy with
+        // work nobody will receive.  That time is reported, not hidden.
+        last_finish = std::max(last_finish, st.max_finish_us);
+        break;
+    }
+    if (tracing && o != Outcome::Completed) {
+      obs::TraceEvent ev;
+      ev.name = std::string(outcome_name(o)) + ":" + rec.req.net;
+      ev.cat = obs::Category::Serve;
+      ev.pid = 2;
+      ev.tid = obs::Track::kServeAdmission;
+      ev.ts = finish_us;
+      ev.instant = true;
+      ev.arg_name[0] = "request";
+      ev.arg[0] = rec.req.id;
+      ev.arg_name[1] = "images";
+      ev.arg[1] = rec.req.images;
+      rec_->trace_event(std::move(ev));
+    }
+  };
+
+  // Admission on arrival: reject when even the optimistic schedule -- every
+  // part of the request starting on the earliest-free chip in parallel --
+  // already misses the (headroom-scaled) deadline.  This is a policy
+  // predictor; the hard completed=>on-time guarantee is the exact per-slice
+  // check at dispatch below.
+  auto admit = [&](std::size_t i) {
+    const Request& r = trace[i];
+    if (cfg_.admission.enabled) {
+      const double start = fleet.earliest_start_us(now);
+      double exec_max = 0.0;
+      for (std::int64_t part : ladder_parts(r.images, bc))
+        exec_max = std::max(exec_max, cost_.cost(r.net, part).us);
+      const double budget = r.arrival_us + cfg_.admission.headroom * r.slo_us;
+      if (start + exec_max > budget) {
+        finalize(i, Outcome::Rejected, now);
+        return;
+      }
+    }
+    batcher.enqueue(r);
+  };
+
+  // Dispatch: fill idle chips with ready sub-batches, shedding any request
+  // whose deadline is unreachable even if its slice ran right now.
+  auto dispatch = [&](bool drain) {
+    for (;;) {
+      const int chip = fleet.idle_chip(now);
+      if (chip < 0) return;
+      std::optional<SubBatch> sb = batcher.peek(now, drain);
+      if (!sb) return;
+      const double exec = cost_.cost(sb->net, sb->images).us;
+      if (cfg_.admission.enabled) {
+        // A slice's sub-batch would finish at now + exec, and the request
+        // completes no earlier than its latest part -- so deadline < now +
+        // exec means the request can no longer make it.  Shed it (drop its
+        // queued images) and re-form the batch from the survivors.
+        bool dropped = false;
+        for (const SubBatch::Slice& s : sb->slices) {
+          const std::size_t i = index.at(s.request_id);
+          const double budget = trace[i].arrival_us +
+                                cfg_.admission.headroom * trace[i].slo_us;
+          if (now + exec > budget) {
+            batcher.drop(s.request_id);
+            finalize(i, Outcome::Shed, now);
+            dropped = true;
+          }
+        }
+        if (dropped) continue;  // re-peek: the batch shrank or vanished
+      }
+      std::optional<SubBatch> got = batcher.pop(now, drain);
+      SWATOP_CHECK(got && got->net == sb->net && got->images == sb->images)
+          << "pop diverged from peek";
+      const double finish = fleet.dispatch(chip, now, exec, sb->images);
+      ++rep.batches;
+      for (const SubBatch::Slice& s : sb->slices) {
+        const std::size_t i = index.at(s.request_id);
+        Inflight& st = state[i];
+        st.max_finish_us = std::max(st.max_finish_us, finish);
+        st.dispatched_us += exec * static_cast<double>(s.images) /
+                            static_cast<double>(sb->images);
+        if (s.final_slice) finalize(i, Outcome::Completed, st.max_finish_us);
+      }
+      if (tracing) {
+        obs::TraceEvent ev;
+        ev.name = sb->net + " x" + std::to_string(sb->images);
+        ev.cat = obs::Category::Serve;
+        ev.pid = 2;
+        ev.tid = obs::Track::kServeChip0 + chip;
+        ev.ts = now;
+        ev.dur = exec;
+        ev.arg_name[0] = "images";
+        ev.arg[0] = sb->images;
+        ev.arg_name[1] = "requests";
+        ev.arg[1] = static_cast<std::int64_t>(sb->slices.size());
+        rec_->trace_event(std::move(ev));
+      }
+    }
+  };
+
+  // The event loop: admit, dispatch, then jump to the next arrival, batcher
+  // head-timeout, or chip completion.  Single-threaded by construction --
+  // event order, and therefore every decision, is deterministic.
+  for (;;) {
+    while (next < trace.size() && trace[next].arrival_us <= now)
+      admit(next++);
+    rep.max_queue_images =
+        std::max(rep.max_queue_images, batcher.queued_images());
+    dispatch(/*drain=*/next >= trace.size());
+    double t = kInf;
+    if (next < trace.size()) t = std::min(t, trace[next].arrival_us);
+    t = std::min(t, batcher.next_deadline_us(now));
+    t = std::min(t, fleet.next_free_us(now));
+    if (t == kInf) break;
+    SWATOP_CHECK(t > now) << "event loop stuck at t=" << t;
+    depth_integral += static_cast<double>(batcher.queued_images()) * (t - now);
+    now = t;
+  }
+  SWATOP_CHECK(batcher.empty()) << "event loop exited with queued work";
+  SWATOP_CHECK(rep.completed + rep.rejected + rep.shed == rep.offered)
+      << "request accounting out of sync";
+
+  // -- Report assembly ----------------------------------------------------
+  rep.shed_rate =
+      rep.offered == 0
+          ? 0.0
+          : static_cast<double>(rep.rejected + rep.shed) /
+                static_cast<double>(rep.offered);
+  const double makespan_us = last_finish - rep.first_arrival_us;
+  rep.makespan_s = makespan_us / 1e6;
+  if (makespan_us > 0.0) {
+    rep.throughput_rps = static_cast<double>(rep.completed) /
+                         (makespan_us / 1e6);
+    rep.throughput_ips = static_cast<double>(rep.images_completed) /
+                         (makespan_us / 1e6);
+    rep.mean_queue_images = depth_integral / makespan_us;
+    rep.utilization = fleet.total_busy_us() /
+                      (static_cast<double>(fleet.chips()) * makespan_us);
+  }
+  rep.mean_batch_images =
+      rep.batches == 0 ? 0.0
+                       : static_cast<double>(rep.images_completed) /
+                             static_cast<double>(rep.batches);
+  rep.chips = fleet.chip_stats();
+  rep.cost = cost_.stats();
+
+  std::vector<double> all_lat;
+  std::map<std::string, NetServingStats> per_net;
+  std::map<std::string, std::vector<double>> per_net_lat;
+  for (const RequestRecord& r : rep.records) {
+    NetServingStats& ns = per_net[r.req.net];
+    ns.net = r.req.net;
+    ++ns.offered;
+    ns.images_offered += r.req.images;
+    ns.slo_ms = std::max(ns.slo_ms, r.req.slo_us / 1e3);
+    switch (r.outcome) {
+      case Outcome::Completed:
+        ++ns.completed;
+        ns.images_completed += r.req.images;
+        all_lat.push_back(r.latency_us);
+        per_net_lat[r.req.net].push_back(r.latency_us);
+        if (r.latency_us > r.req.slo_us + kLateEpsUs) ++ns.slo_violations;
+        break;
+      case Outcome::Rejected: ++ns.rejected; break;
+      case Outcome::Shed:
+        ++ns.shed;
+        rep.wasted_ms += r.wasted_us / 1e3;
+        break;
+    }
+  }
+  std::sort(all_lat.begin(), all_lat.end());
+  rep.p50_ms = percentile_ms(all_lat, 0.50);
+  rep.p99_ms = percentile_ms(all_lat, 0.99);
+  if (!all_lat.empty()) {
+    rep.max_ms = all_lat.back() / 1e3;
+    double sum = 0.0;
+    for (double v : all_lat) sum += v;
+    rep.mean_ms = sum / static_cast<double>(all_lat.size()) / 1e3;
+  }
+  for (auto& [net, ns] : per_net) {
+    std::vector<double>& lat = per_net_lat[net];
+    std::sort(lat.begin(), lat.end());
+    ns.p50_ms = percentile_ms(lat, 0.50);
+    ns.p99_ms = percentile_ms(lat, 0.99);
+    if (!lat.empty()) ns.max_ms = lat.back() / 1e3;
+    rep.per_net.push_back(ns);
+  }
+
+  if (rec_ != nullptr) {
+    obs::ServeCounters& sc = rec_->counters().serve;
+    sc.requests_offered += rep.offered;
+    sc.requests_completed += rep.completed;
+    sc.requests_rejected += rep.rejected;
+    sc.requests_shed += rep.shed;
+    sc.images_completed += rep.images_completed;
+    sc.batches_dispatched += rep.batches;
+    sc.slo_violations += rep.slo_violations;
+    sc.busy_us += fleet.total_busy_us();
+    sc.wasted_us += rep.wasted_ms * 1e3;
+  }
+  return rep;
+}
+
+std::string ServingReport::text() const {
+  std::string out;
+  appendf(out, "== serving report ==\n");
+  appendf(out,
+          "offered    %lld requests (%lld images) over %.2f s of arrivals\n",
+          static_cast<long long>(offered),
+          static_cast<long long>(images_offered),
+          (last_arrival_us - first_arrival_us) / 1e6);
+  const double done_pct =
+      offered == 0 ? 0.0
+                   : 100.0 * static_cast<double>(completed) /
+                         static_cast<double>(offered);
+  appendf(out,
+          "outcomes   %lld completed (%.1f%%), %lld rejected, %lld shed -> "
+          "shed rate %.1f%%\n",
+          static_cast<long long>(completed), done_pct,
+          static_cast<long long>(rejected), static_cast<long long>(shed),
+          100.0 * shed_rate);
+  appendf(out,
+          "latency    p50 %.2f ms   p99 %.2f ms   mean %.2f ms   max %.2f ms"
+          "   (%lld SLO violations)\n",
+          p50_ms, p99_ms, mean_ms, max_ms,
+          static_cast<long long>(slo_violations));
+  appendf(out, "throughput %.1f req/s, %.1f img/s sustained over %.2f s\n",
+          throughput_rps, throughput_ips, makespan_s);
+  appendf(out, "queue      mean %.1f images, max %lld\n", mean_queue_images,
+          static_cast<long long>(max_queue_images));
+  appendf(out,
+          "fleet      %zu chips at %.1f%% utilization, %lld batches, mean "
+          "%.2f img/batch, %.1f ms wasted on shed splits\n",
+          chips.size(), 100.0 * utilization, static_cast<long long>(batches),
+          mean_batch_images, wasted_ms);
+  appendf(out,
+          "cost       %lld profiles (%lld shapes tuned, %lld cache hits), "
+          "%lld memoized lookups\n",
+          static_cast<long long>(cost.profiles),
+          static_cast<long long>(cost.shapes_tuned),
+          static_cast<long long>(cost.cache_hits),
+          static_cast<long long>(cost.memo_hits));
+  for (const NetServingStats& ns : per_net) {
+    appendf(out,
+            "  %-8s offered %-5lld completed %-5lld rejected %-4lld shed "
+            "%-4lld p50 %8.2f ms  p99 %8.2f ms  slo %.0f ms\n",
+            ns.net.c_str(), static_cast<long long>(ns.offered),
+            static_cast<long long>(ns.completed),
+            static_cast<long long>(ns.rejected),
+            static_cast<long long>(ns.shed), ns.p50_ms, ns.p99_ms, ns.slo_ms);
+  }
+  return out;
+}
+
+std::string ServingReport::json() const {
+  std::string out = "{";
+  append_kv(out, "offered", offered, false);
+  append_kv(out, "images_offered", images_offered, true);
+  append_kv(out, "completed", completed, true);
+  append_kv(out, "rejected", rejected, true);
+  append_kv(out, "shed", shed, true);
+  append_kv(out, "images_completed", images_completed, true);
+  append_kv(out, "shed_rate", shed_rate, true);
+  append_kv(out, "p50_ms", p50_ms, true);
+  append_kv(out, "p99_ms", p99_ms, true);
+  append_kv(out, "mean_ms", mean_ms, true);
+  append_kv(out, "max_ms", max_ms, true);
+  append_kv(out, "slo_violations", slo_violations, true);
+  append_kv(out, "makespan_s", makespan_s, true);
+  append_kv(out, "throughput_rps", throughput_rps, true);
+  append_kv(out, "throughput_ips", throughput_ips, true);
+  append_kv(out, "mean_queue_images", mean_queue_images, true);
+  append_kv(out, "max_queue_images", max_queue_images, true);
+  append_kv(out, "utilization", utilization, true);
+  append_kv(out, "batches", batches, true);
+  append_kv(out, "mean_batch_images", mean_batch_images, true);
+  append_kv(out, "wasted_ms", wasted_ms, true);
+  append_kv(out, "cost_profiles", cost.profiles, true);
+  append_kv(out, "cost_memo_hits", cost.memo_hits, true);
+  append_kv(out, "shapes_tuned", cost.shapes_tuned, true);
+  append_kv(out, "cache_hits", cost.cache_hits, true);
+  out += ",\"per_net\":[";
+  for (std::size_t i = 0; i < per_net.size(); ++i) {
+    const NetServingStats& ns = per_net[i];
+    if (i > 0) out += ',';
+    out += "{\"net\":\"" + ns.net + "\"";
+    append_kv(out, "offered", ns.offered, true);
+    append_kv(out, "completed", ns.completed, true);
+    append_kv(out, "rejected", ns.rejected, true);
+    append_kv(out, "shed", ns.shed, true);
+    append_kv(out, "images_offered", ns.images_offered, true);
+    append_kv(out, "images_completed", ns.images_completed, true);
+    append_kv(out, "p50_ms", ns.p50_ms, true);
+    append_kv(out, "p99_ms", ns.p99_ms, true);
+    append_kv(out, "max_ms", ns.max_ms, true);
+    append_kv(out, "slo_ms", ns.slo_ms, true);
+    append_kv(out, "slo_violations", ns.slo_violations, true);
+    out += '}';
+  }
+  out += "],\"chips\":[";
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const Fleet::ChipStats& c = chips[i];
+    if (i > 0) out += ',';
+    out += '{';
+    append_kv(out, "busy_us", c.busy_us, false);
+    append_kv(out, "batches", c.batches, true);
+    append_kv(out, "images", c.images, true);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace swatop::serve

@@ -1,0 +1,78 @@
+// Synthetic traffic generators for the serving simulator: Poisson and
+// bursty arrival processes over a weighted mix of networks and requested
+// batch sizes.
+//
+// Determinism contract: the generator uses its own splitmix64/xorshift
+// stream and an explicit u64 -> double mapping, never the standard
+// library's distributions (whose output is implementation-defined), so one
+// (config, seed) pair produces the byte-identical trace on every platform
+// and toolchain. The trace is the sole source of randomness in a serving
+// run -- everything downstream (batcher, fleet, admission) is
+// deterministic given the trace and the simulated chip costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace swatop::serve {
+
+/// Deterministic 64-bit generator (xorshift64* seeded through splitmix64).
+/// Public so tests and benches can reuse the exact stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1) with 53 random bits (exactly representable).
+  double next_double();
+  /// Exponential with the given rate (events per unit time); rate > 0.
+  double next_exponential(double rate);
+  /// Index into a non-empty weight vector, proportional to the weights.
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_;
+};
+
+/// One network's share of the traffic mix.
+struct NetMix {
+  std::string net;     ///< graph::build_net name
+  double weight = 1.0; ///< relative request share
+  double slo_ms = 50.0;///< per-net latency SLO stamped on its requests
+};
+
+enum class ArrivalPattern : std::uint8_t {
+  Poisson,  ///< exponential inter-arrivals at `rate_rps`
+  /// Square-wave modulated Poisson: each `burst_period_s` starts with a
+  /// burst window (`burst_fraction` of the period) during which the rate is
+  /// `burst_factor * rate_rps`; outside it the rate is `rate_rps`. Mean
+  /// offered load is rate_rps * (1 + (burst_factor - 1) * burst_fraction).
+  Bursty,
+};
+
+const char* arrival_pattern_name(ArrivalPattern p);
+
+struct TrafficConfig {
+  std::uint64_t seed = 1;
+  double duration_s = 5.0;  ///< arrival window; no arrivals after it
+  double rate_rps = 50.0;   ///< base request arrival rate (requests/s)
+  ArrivalPattern pattern = ArrivalPattern::Poisson;
+  double burst_factor = 6.0;
+  double burst_fraction = 0.25;
+  double burst_period_s = 1.0;
+  /// Networks in the mix; must be non-empty.
+  std::vector<NetMix> mix{{"resnet", 1.0, 50.0}};
+  /// Requested batch sizes and their weights (parallel vectors; sizes
+  /// default to single-image requests when empty).
+  std::vector<std::int64_t> sizes{1};
+  std::vector<double> size_weights{1.0};
+};
+
+/// Generate the arrival trace: requests sorted by arrival time with ids in
+/// arrival order. Throws swatop::CheckError on an invalid config (empty
+/// mix, non-positive rate/duration, mismatched size weights).
+std::vector<Request> generate_trace(const TrafficConfig& cfg);
+
+}  // namespace swatop::serve

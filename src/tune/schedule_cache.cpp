@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cmath>
+#include <mutex>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -57,7 +58,7 @@ std::string ScheduleCache::file_header() {
 }
 
 ScheduleCache::ScheduleCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   if (!cfg_.path.empty()) load_file_locked();
 }
 
@@ -122,7 +123,7 @@ void ScheduleCache::load_file_locked() {
 
 std::optional<CacheEntry> ScheduleCache::lookup(
     const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
@@ -142,7 +143,7 @@ bool ScheduleCache::write_all_locked() const {
 }
 
 void ScheduleCache::store(const std::string& key, const CacheEntry& entry) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   map_[key] = entry;
   if (cfg_.path.empty() || cfg_.read_only) return;
   if (!file_appendable_) {
@@ -159,17 +160,19 @@ void ScheduleCache::store(const std::string& key, const CacheEntry& entry) {
 }
 
 bool ScheduleCache::save() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  // Exclusive even though the map is not mutated: save() rewrites the
+  // backing file, and two concurrent writers would interleave lines.
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   return write_all_locked();
 }
 
 std::size_t ScheduleCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   return map_.size();
 }
 
 std::int64_t ScheduleCache::corrupt_entries_skipped() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   return corrupt_;
 }
 

@@ -20,12 +20,15 @@
 // A file whose header names a different version is ignored wholesale (a
 // format/key bump invalidates old entries); a line that fails to parse is
 // skipped and counted, never fatal. Later duplicate keys win, so appending
-// is a valid update protocol. All public methods are thread-safe.
+// is a valid update protocol. All public methods are thread-safe; the warm
+// path (lookup of a banked key) takes a shared lock, so any number of
+// serving threads can hit the cache concurrently while a miss-and-store
+// briefly takes the lock exclusively.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -104,7 +107,9 @@ class ScheduleCache {
   bool write_all_locked() const;
 
   CacheConfig cfg_;
-  mutable std::mutex mu_;
+  /// Reader-writer lock: lookup/size/corrupt_entries_skipped share, store
+  /// and save are exclusive.
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, CacheEntry> map_;
   std::int64_t corrupt_ = 0;
   /// File on disk is current-version and append-safe.

@@ -3,6 +3,7 @@
 // tolerance, thread safety, and the Optimizer's warm fast path.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -350,6 +351,63 @@ TEST(ScheduleCache, ConcurrentStoreAndLookup) {
   EXPECT_EQ(reloaded.size(), 1u + kThreads * kKeysPerThread);
   EXPECT_EQ(reloaded.corrupt_entries_skipped(), 0);
   std::filesystem::remove(path);
+}
+
+// The serving-path access pattern: a pool of threads hammers *warm*
+// lookups (shared locks -- they must all read the same banked entry,
+// concurrently) while one tuner thread keeps missing on fresh keys and
+// storing the results (exclusive lock). Readers assert the warm entry's
+// content on every hit, so a torn read, a rehash-under-reader or a lost
+// update shows up as a value mismatch here -- and as a data race under the
+// TSan CI job, which runs this test.
+TEST(ScheduleCache, ConcurrentWarmLookupsWhileOneThreadStores) {
+  CacheConfig cfg;
+  cfg.enabled = true;  // in-memory: the contention is on the map itself
+  ScheduleCache cache(cfg);
+
+  CacheEntry warm;
+  warm.strategy = sample_strategy();
+  warm.prefetch = true;
+  warm.predicted_cycles = 123.0;
+  warm.measured_cycles = 456.0;
+  cache.store("warm-key", warm);
+
+  constexpr int kReaders = 8;
+  constexpr int kWarmLookups = 4000;
+  constexpr int kFreshStores = 400;
+  std::atomic<std::int64_t> hits{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&cache, &hits, &mismatch] {
+      for (int i = 0; i < kWarmLookups; ++i) {
+        const std::optional<CacheEntry> got = cache.lookup("warm-key");
+        if (!got || got->predicted_cycles != 123.0 ||
+            got->measured_cycles != 456.0 || !got->prefetch ||
+            got->strategy.serialize() != sample_strategy().serialize()) {
+          mismatch.store(true);
+          return;
+        }
+        hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread tuner([&cache] {
+    for (int i = 0; i < kFreshStores; ++i) {
+      const std::string key = "fresh-" + std::to_string(i);
+      if (!cache.lookup(key)) {  // miss...
+        CacheEntry e;
+        e.strategy = sample_strategy();
+        e.predicted_cycles = i;
+        cache.store(key, e);  // ...then store, racing the warm readers
+      }
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  tuner.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(hits.load(), static_cast<std::int64_t>(kReaders) * kWarmLookups);
+  EXPECT_EQ(cache.size(), 1u + kFreshStores);
 }
 
 }  // namespace

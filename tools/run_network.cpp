@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli.hpp"
 #include "common/check.hpp"
 #include "graph/build.hpp"
 #include "graph/compile.hpp"
@@ -42,51 +43,40 @@ void usage() {
          "         [--journal FILE]    write the tuning journal (JSONL)\n";
 }
 
-swatop::graph::ConvMethod parse_method(const std::string& s) {
+swatop::graph::ConvMethod parse_method(const swatop::cli::Args& args,
+                                       const std::string& s) {
   using swatop::graph::ConvMethod;
   if (s == "auto") return ConvMethod::Auto;
   if (s == "implicit") return ConvMethod::Implicit;
   if (s == "explicit") return ConvMethod::Explicit;
   if (s == "winograd") return ConvMethod::Winograd;
-  std::cerr << "unknown method '" << s << "'\n";
-  usage();
-  std::exit(2);
+  args.fail("unknown method '" + s +
+            "' (expected auto, implicit, explicit or winograd)");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    usage();
-    return 2;
-  }
-  const std::string net = argv[1];
-  const std::int64_t batch = std::strtoll(argv[2], nullptr, 10);
-  if (batch < 1) {
-    std::cerr << "bad batch '" << argv[2] << "'\n";
-    usage();
-    return 2;
-  }
+  swatop::cli::Args args(argc, argv, usage);
+  const std::string net = args.pop("network name");
+  if (net != "vgg16" && net != "resnet" && net != "yolo")
+    args.fail("unknown network '" + net +
+              "' (expected vgg16, resnet or yolo)");
+  const std::int64_t batch =
+      args.int64("batch", args.pop("batch size"), 1, 1 << 20);
 
   swatop::SwatopConfig cfg;
   swatop::graph::NetOptions opts;
   std::string report_path;
   std::string journal_path;
   bool full_report = false;
-  for (int i = 3; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << a << "\n";
-        usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
+  bool tol_set = false;
+  while (args.more()) {
+    const std::string a = args.pop("option");
     if (a == "--groups") {
-      opts.groups = static_cast<int>(std::strtol(next(), nullptr, 10));
+      opts.groups = static_cast<int>(args.int64(a, args.value(a), 1, 4));
     } else if (a == "--method") {
-      opts.method = parse_method(next());
+      opts.method = parse_method(args, args.value(a));
     } else if (a == "--timing-only") {
       opts.mode = swatop::sim::ExecMode::TimingOnly;
     } else if (a == "--no-check") {
@@ -96,23 +86,29 @@ int main(int argc, char** argv) {
     } else if (a == "--no-residency") {
       opts.residency = false;
     } else if (a == "--tol") {
-      opts.tolerance = std::strtod(next(), nullptr);
+      opts.tolerance = args.real(a, args.value(a), /*require_positive=*/true);
+      tol_set = true;
     } else if (a == "--cache") {
       cfg.cache.enabled = true;
-      cfg.cache.path = next();
+      cfg.cache.path = args.value(a);
     } else if (a == "--report") {
-      report_path = next();
+      report_path = args.value(a);
       cfg.observability.enabled = true;
     } else if (a == "--full-report") {
       full_report = true;
     } else if (a == "--journal") {
-      journal_path = next();
+      journal_path = args.value(a);
     } else {
-      std::cerr << "unknown option '" << a << "'\n";
-      usage();
-      return 2;
+      args.fail("unknown option '" + a + "'");
     }
   }
+  // Flag-combination sanity: the tolerance only gates the functional
+  // reference check, so pairing it with modes that skip the check would
+  // silently do nothing -- reject instead.
+  if (tol_set && !opts.check)
+    args.fail("--tol has no effect with --no-check");
+  if (tol_set && opts.mode == swatop::sim::ExecMode::TimingOnly)
+    args.fail("--tol has no effect with --timing-only (no data to check)");
 
   try {
     // compile() is the fusion-aware front door: it owns the tuning journal

@@ -1,0 +1,287 @@
+// Serving-front-end simulator: generate a synthetic arrival trace, run it
+// through the dynamic batcher + SLO-aware fleet scheduler (src/serve/),
+// and print the p50/p99/throughput/shed report.
+//
+//   serve_sim --duration 5 --rate 120 --net resnet:2:150 --net yolo:1:250
+//   serve_sim --pattern bursty --chips 8 --no-admission --json report.json
+//   serve_sim --synthetic --rate 400 --sizes 1,2,4
+//
+// Whole runs are deterministic: same flags => byte-identical --json output
+// (simulated clocks only; see DESIGN.md §6). The --assert-* flags turn the
+// binary into a CI smoke test: each prints PASS/FAIL and any failure makes
+// the exit status 1.
+//
+// Exit status: 0 on success, 1 when an --assert-* check fails, 2 on usage
+// errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "common/check.hpp"
+#include "obs/recorder.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      "usage: serve_sim [traffic] [server] [output] [asserts]\n"
+      "traffic:\n"
+      "  --seed N              RNG seed (default 1)\n"
+      "  --duration S          arrival window, seconds (default 5)\n"
+      "  --rate R              mean arrival rate, requests/s (default 50)\n"
+      "  --pattern P           poisson|bursty (default poisson)\n"
+      "  --burst-factor X      bursty: rate multiplier in bursts (default 6)\n"
+      "  --burst-fraction X    bursty: fraction of period bursting (0.25)\n"
+      "  --burst-period S      bursty: burst cycle length (default 1)\n"
+      "  --net N[:W[:SLO_MS]]  add network N with weight W and SLO (repeat;\n"
+      "                        default resnet:1:50)\n"
+      "  --sizes A,B,...       request image counts to draw from (default 1)\n"
+      "  --size-weights ...    weights for --sizes (default uniform)\n"
+      "server:\n"
+      "  --chips N             fleet size (default 4)\n"
+      "  --groups N            core groups per chip, 1-4 (default 4)\n"
+      "  --max-batch N         dynamic batcher sub-batch cap (default 8)\n"
+      "  --max-wait-ms X       coalescing deadline (default 2)\n"
+      "  --no-coalesce         batch-1 FIFO baseline (ablation)\n"
+      "  --no-admission        admit everything, never shed (ablation)\n"
+      "  --headroom X          admission deadline scale (default 1)\n"
+      "  --synthetic           analytic cost model instead of the engine\n"
+      "  --cache FILE          persistent schedule cache for engine costs\n"
+      "output:\n"
+      "  --json FILE           write the report JSON\n"
+      "  --trace FILE          write the Chrome trace (pid 2 = fleet)\n"
+      "  --quiet               suppress the text report\n"
+      "asserts (CI smoke):\n"
+      "  --assert-slo          fail if any completed request missed its SLO\n"
+      "  --assert-shed-below X fail if shed+rejected fraction >= X\n"
+      "  --assert-shed-above X fail if shed+rejected fraction <= X\n"
+      "  --assert-completed N  fail if fewer than N requests completed\n";
+}
+
+std::vector<std::int64_t> parse_int_list(const swatop::cli::Args& args,
+                                         const std::string& what,
+                                         const std::string& tok) {
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos <= tok.size()) {
+    const std::size_t comma = tok.find(',', pos);
+    const std::string field =
+        tok.substr(pos, comma == std::string::npos ? tok.size() - pos
+                                                   : comma - pos);
+    out.push_back(args.int64(what, field, 1, 1 << 20));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const swatop::cli::Args& args,
+                                      const std::string& what,
+                                      const std::string& tok) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= tok.size()) {
+    const std::size_t comma = tok.find(',', pos);
+    const std::string field =
+        tok.substr(pos, comma == std::string::npos ? tok.size() - pos
+                                                   : comma - pos);
+    out.push_back(args.real(what, field, /*require_positive=*/true));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// "name[:weight[:slo_ms]]" -> NetMix.
+swatop::serve::NetMix parse_net(const swatop::cli::Args& args,
+                                const std::string& tok) {
+  swatop::serve::NetMix m;
+  const std::size_t c1 = tok.find(':');
+  m.net = tok.substr(0, c1);
+  if (m.net.empty()) args.fail("empty network name in --net '" + tok + "'");
+  if (c1 != std::string::npos) {
+    const std::size_t c2 = tok.find(':', c1 + 1);
+    m.weight = args.real("--net weight",
+                         tok.substr(c1 + 1, c2 == std::string::npos
+                                                ? std::string::npos
+                                                : c2 - c1 - 1),
+                         /*require_positive=*/true);
+    if (c2 != std::string::npos)
+      m.slo_ms = args.real("--net SLO", tok.substr(c2 + 1),
+                           /*require_positive=*/true);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  swatop::cli::Args args(argc, argv, usage);
+
+  swatop::serve::TrafficConfig traffic;
+  traffic.mix.clear();
+  swatop::serve::ServerConfig server;
+  bool synthetic = false;
+  std::string cache_path;
+  std::string json_path;
+  std::string trace_path;
+  bool quiet = false;
+  bool assert_slo = false;
+  double shed_below = -1.0, shed_above = -1.0;
+  std::int64_t completed_min = -1;
+
+  while (args.more()) {
+    const std::string a = args.pop("option");
+    if (a == "--seed") {
+      traffic.seed = static_cast<std::uint64_t>(
+          args.int64(a, args.value(a), 0));
+    } else if (a == "--duration") {
+      traffic.duration_s = args.real(a, args.value(a), true);
+    } else if (a == "--rate") {
+      traffic.rate_rps = args.real(a, args.value(a), true);
+    } else if (a == "--pattern") {
+      const std::string p = args.value(a);
+      if (p == "poisson") {
+        traffic.pattern = swatop::serve::ArrivalPattern::Poisson;
+      } else if (p == "bursty") {
+        traffic.pattern = swatop::serve::ArrivalPattern::Bursty;
+      } else {
+        args.fail("unknown pattern '" + p + "' (expected poisson or bursty)");
+      }
+    } else if (a == "--burst-factor") {
+      traffic.burst_factor = args.real(a, args.value(a), true);
+    } else if (a == "--burst-fraction") {
+      traffic.burst_fraction = args.real(a, args.value(a), true);
+    } else if (a == "--burst-period") {
+      traffic.burst_period_s = args.real(a, args.value(a), true);
+    } else if (a == "--net") {
+      traffic.mix.push_back(parse_net(args, args.value(a)));
+    } else if (a == "--sizes") {
+      traffic.sizes = parse_int_list(args, a, args.value(a));
+    } else if (a == "--size-weights") {
+      traffic.size_weights = parse_double_list(args, a, args.value(a));
+    } else if (a == "--chips") {
+      server.fleet.chips =
+          static_cast<int>(args.int64(a, args.value(a), 1, 1024));
+    } else if (a == "--groups") {
+      server.fleet.groups_per_chip =
+          static_cast<int>(args.int64(a, args.value(a), 1, 4));
+    } else if (a == "--max-batch") {
+      server.batcher.max_batch = args.int64(a, args.value(a), 1, 4096);
+    } else if (a == "--max-wait-ms") {
+      server.batcher.max_wait_us = 1e3 * args.real(a, args.value(a), true);
+    } else if (a == "--no-coalesce") {
+      server.batcher.coalesce = false;
+    } else if (a == "--no-admission") {
+      server.admission.enabled = false;
+    } else if (a == "--headroom") {
+      server.admission.headroom = args.real(a, args.value(a), true);
+    } else if (a == "--synthetic") {
+      synthetic = true;
+    } else if (a == "--cache") {
+      cache_path = args.value(a);
+    } else if (a == "--json") {
+      json_path = args.value(a);
+    } else if (a == "--trace") {
+      trace_path = args.value(a);
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--assert-slo") {
+      assert_slo = true;
+    } else if (a == "--assert-shed-below") {
+      shed_below = args.real(a, args.value(a), true);
+    } else if (a == "--assert-shed-above") {
+      shed_above = args.real(a, args.value(a));
+    } else if (a == "--assert-completed") {
+      completed_min = args.int64(a, args.value(a), 0);
+    } else {
+      args.fail("unknown option '" + a + "'");
+    }
+  }
+  if (traffic.mix.empty()) traffic.mix.push_back({"resnet", 1.0, 50.0});
+  if (traffic.size_weights.size() != traffic.sizes.size())
+    traffic.size_weights.assign(traffic.sizes.size(), 1.0);  // uniform
+  if (synthetic && !cache_path.empty())
+    args.fail("--cache has no effect with --synthetic (no engine to cache)");
+  if (!server.admission.enabled && assert_slo)
+    args.fail("--assert-slo requires admission control (drop --no-admission)");
+
+  try {
+    const std::vector<swatop::serve::Request> trace =
+        swatop::serve::generate_trace(traffic);
+
+    swatop::SwatopConfig cfg;
+    if (!cache_path.empty()) {
+      cfg.cache.enabled = true;
+      cfg.cache.path = cache_path;
+    }
+    swatop::serve::SyntheticCostProvider synth(server.fleet.groups_per_chip);
+    swatop::serve::EngineCostProvider::Options eco;
+    eco.groups_per_chip = server.fleet.groups_per_chip;
+    std::unique_ptr<swatop::serve::EngineCostProvider> engine_cost;
+    swatop::serve::CostProvider* cost = &synth;
+    if (!synthetic) {
+      engine_cost = std::make_unique<swatop::serve::EngineCostProvider>(
+          cfg, eco);
+      cost = engine_cost.get();
+    }
+
+    std::unique_ptr<swatop::obs::Recorder> rec;
+    if (!trace_path.empty()) {
+      swatop::obs::Options oo;
+      oo.enabled = true;
+      rec = std::make_unique<swatop::obs::Recorder>(oo);
+    }
+
+    swatop::serve::Server srv(server, *cost, rec.get());
+    const swatop::serve::ServingReport rep = srv.run(trace);
+
+    if (!quiet) std::fputs(rep.text().c_str(), stdout);
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      os << rep.json() << "\n";
+      if (!os.good()) {
+        std::cerr << "error: failed to write " << json_path << "\n";
+        return 2;
+      }
+      std::printf("json:   %s\n", json_path.c_str());
+    }
+    if (rec != nullptr && !trace_path.empty()) {
+      std::ofstream os(trace_path);
+      swatop::obs::write_chrome_trace(os, rec->buffer().snapshot());
+      std::printf("trace:  %s\n", trace_path.c_str());
+    }
+
+    bool ok = true;
+    auto check = [&ok](bool cond, const std::string& what) {
+      std::printf("%s: %s\n", cond ? "PASS" : "FAIL", what.c_str());
+      ok = ok && cond;
+    };
+    if (assert_slo)
+      check(rep.slo_violations == 0,
+            "assert-slo (violations = " + std::to_string(rep.slo_violations) +
+                ")");
+    if (shed_below >= 0.0)
+      check(rep.shed_rate < shed_below,
+            "assert-shed-below " + std::to_string(shed_below) +
+                " (shed rate = " + std::to_string(rep.shed_rate) + ")");
+    if (shed_above >= 0.0)
+      check(rep.shed_rate > shed_above,
+            "assert-shed-above " + std::to_string(shed_above) +
+                " (shed rate = " + std::to_string(rep.shed_rate) + ")");
+    if (completed_min >= 0)
+      check(rep.completed >= completed_min,
+            "assert-completed " + std::to_string(completed_min) +
+                " (completed = " + std::to_string(rep.completed) + ")");
+    return ok ? 0 : 1;
+  } catch (const swatop::CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
