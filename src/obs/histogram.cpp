@@ -1,0 +1,99 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace swatop::obs {
+
+double exact_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+double LatencyHistogram::bucket_lo(int index) {
+  const int octave = kMinExp + index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+double LatencyHistogram::bucket_mid(int index) {
+  const int octave = kMinExp + index / kSubBuckets;
+  const double width = std::ldexp(1.0, octave) / kSubBuckets;
+  return bucket_lo(index) + width / 2.0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (!other.octaves_.empty()) {
+    if (octaves_.empty()) octaves_.resize(kNumOctaves);
+    for (std::size_t oct = 0; oct < other.octaves_.size(); ++oct) {
+      const std::unique_ptr<Octave>& theirs = other.octaves_[oct];
+      if (!theirs) continue;
+      std::unique_ptr<Octave>& ours = octaves_[oct];
+      if (!ours) ours = std::make_unique<Octave>();
+      for (int s = 0; s < kSubBuckets; ++s) ours->c[s] += theirs->c[s];
+    }
+  }
+  zeros_ += other.zeros_;
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::clear() {
+  for (std::unique_ptr<Octave>& o : octaves_)
+    if (o) *o = Octave{};
+  zeros_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  std::int64_t rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  // The zero bucket sorts below every positive bucket.
+  if (rank <= zeros_) return 0.0;
+  std::int64_t seen = zeros_;
+  for (std::size_t oct = 0; oct < octaves_.size(); ++oct) {
+    const std::unique_ptr<Octave>& o = octaves_[oct];
+    if (!o) continue;
+    for (int s = 0; s < kSubBuckets; ++s) {
+      seen += o->c[s];
+      if (seen >= rank)
+        return bucket_mid(static_cast<int>(oct) * kSubBuckets + s);
+    }
+  }
+  SWATOP_UNREACHABLE("histogram rank walked past every bucket");
+}
+
+std::map<int, std::int64_t> LatencyHistogram::buckets() const {
+  std::map<int, std::int64_t> out;
+  for (std::size_t oct = 0; oct < octaves_.size(); ++oct) {
+    const std::unique_ptr<Octave>& o = octaves_[oct];
+    if (!o) continue;
+    for (int s = 0; s < kSubBuckets; ++s)
+      if (o->c[s] != 0) out[static_cast<int>(oct) * kSubBuckets + s] = o->c[s];
+  }
+  return out;
+}
+
+}  // namespace swatop::obs

@@ -1,0 +1,144 @@
+// Mergeable log-bucketed latency histogram with a bounded relative
+// quantile error, plus the exact sorted-vector percentile it is validated
+// against.
+//
+// Bucket layout is fixed and value-independent: every binary octave
+// [2^e, 2^(e+1)) is divided into kSubBuckets equal-width linear buckets
+// (the HDR-histogram scheme). Indexing uses only frexp/ldexp -- exact
+// floating-point arithmetic, no libm log -- so the same sample lands in
+// the same bucket on every platform and two histograms always merge by
+// element-wise addition. A quantile query returns the midpoint of the
+// bucket containing the exact ceil-rank sample, which is within half a
+// bucket width of that sample; since bucket width is 2^e / kSubBuckets
+// and the sample is >= 2^e, the relative error is bounded by
+// kMaxRelError = 1 / (2 * kSubBuckets), about 0.78% at kSubBuckets = 64.
+//
+// Storage is octave-lazy: a binary octave's 64 counters are allocated as
+// one flat block the first time a sample lands in it, so recording is an
+// array increment (no per-sample allocation or tree walk -- this sits on
+// the serving event loop's hot path) while an empty or narrow
+// distribution still costs only the octaves it touches; count, sum, min
+// and max are tracked exactly on the side.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace swatop::obs {
+
+/// Exact ceil-rank percentile of an ascending-sorted sample: the smallest
+/// element whose rank is >= q * n (rank clamped to [1, n]); 0 when empty.
+/// This is the serving report's percentile definition and the test oracle
+/// for LatencyHistogram's error bound.
+double exact_percentile(const std::vector<double>& sorted, double q);
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per binary octave. 64 gives <= 0.79% relative
+  /// quantile error at ~26 bytes per occupied bucket.
+  static constexpr int kSubBuckets = 64;
+  /// Documented relative error bound of quantile() vs exact_percentile()
+  /// on the same sample, for values inside the representable range.
+  static constexpr double kMaxRelError = 1.0 / (2.0 * kSubBuckets);
+  /// Octave clamp: values below 2^kMinExp (in the caller's unit) collapse
+  /// into the bottom bucket, values at or above 2^kMaxExp into the top one
+  /// (the error bound does not apply to clamped samples). For latencies in
+  /// microseconds the range spans ~1 ns to ~100 days.
+  static constexpr int kMinExp = -10;
+  static constexpr int kMaxExp = 47;
+  static constexpr int kNumOctaves = kMaxExp - kMinExp;
+
+  /// Record `n` samples of value `v`. Values <= 0 land in a dedicated
+  /// zero bucket whose representative is 0. Inline: one add per served
+  /// request on the serving event loop's hot path.
+  void add(double v, std::int64_t n = 1) {
+    SWATOP_CHECK(n >= 0) << "histogram add of " << n << " samples";
+    if (n == 0) return;
+    if (v > 0.0) {
+      const int idx = bucket_index(v);
+      const std::size_t oct = static_cast<std::size_t>(idx / kSubBuckets);
+      if (octaves_.empty()) octaves_.resize(kNumOctaves);
+      std::unique_ptr<Octave>& o = octaves_[oct];
+      if (!o) o = std::make_unique<Octave>();
+      o->c[idx % kSubBuckets] += n;
+    } else {
+      zeros_ += n;
+      v = 0.0;
+    }
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    count_ += n;
+    sum_ += v * static_cast<double>(n);
+  }
+
+  /// Element-wise merge (the fixed layout makes this exact: merging then
+  /// querying equals adding every sample to one histogram and querying).
+  void merge(const LatencyHistogram& other);
+
+  /// Forget every sample but keep the allocated octave blocks, so a
+  /// scratch histogram can be reused across many merge-and-query rounds
+  /// without reallocating.
+  void clear();
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  bool empty() const { return count_ == 0; }
+
+  /// Bucket-midpoint value at the exact_percentile ceil-rank; 0 when
+  /// empty. |quantile(q) - exact_percentile(sorted, q)| <=
+  /// kMaxRelError * exact_percentile(sorted, q) for unclamped samples.
+  double quantile(double q) const;
+
+  /// Fixed-layout bucket index of a positive value (clamped to the
+  /// representable octave range). Public for tests.
+  static int bucket_index(double v) {
+    // v = m * 2^e with m in [0.5, 1): the octave is e - 1 and the
+    // sub-bucket is the linear position of m within [0.5, 1). All exact
+    // FP arithmetic.
+    int e = 0;
+    const double m = std::frexp(v, &e);
+    const int octave = e - 1;
+    if (octave < kMinExp) return 0;
+    if (octave >= kMaxExp) return (kMaxExp - kMinExp) * kSubBuckets - 1;
+    int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+    if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // m just below 1.0
+    return (octave - kMinExp) * kSubBuckets + sub;
+  }
+  /// Lower edge / midpoint of a bucket. Public for tests.
+  static double bucket_lo(int index);
+  static double bucket_mid(int index);
+
+  /// Occupied buckets in ascending index order (tests, serialization).
+  std::map<int, std::int64_t> buckets() const;
+  std::int64_t zero_count() const { return zeros_; }
+
+ private:
+  /// One binary octave's linear sub-bucket counters, allocated on first
+  /// touch (value-initialized to zero).
+  struct Octave {
+    std::int64_t c[kSubBuckets] = {};
+  };
+  std::vector<std::unique_ptr<Octave>> octaves_;  ///< empty until first add
+  std::int64_t zeros_ = 0;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace swatop::obs

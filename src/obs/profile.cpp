@@ -21,7 +21,7 @@ Profile Profile::snapshot(const Recorder& rec) {
 }
 
 void Profile::write_chrome_trace(std::ostream& os) const {
-  obs::write_chrome_trace(os, events);
+  obs::write_chrome_trace(os, events, events_dropped);
 }
 
 std::string Profile::chrome_trace() const {

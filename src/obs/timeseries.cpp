@@ -1,0 +1,101 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+
+namespace swatop::obs {
+
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(double window_us, std::vector<std::string> cnames,
+                       std::vector<std::string> gnames, GaugeSampler sampler)
+    : window_us_(window_us),
+      cnames_(std::move(cnames)),
+      gnames_(std::move(gnames)),
+      sampler_(std::move(sampler)),
+      counters_(cnames_.size(), 0.0) {
+  SWATOP_CHECK(window_us_ > 0.0) << "window width " << window_us_ << " us";
+}
+
+void TimeSeries::count_future(std::int64_t idx, std::size_t channel,
+                              double delta) {
+  const std::size_t d = static_cast<std::size_t>(idx - cur_ - 1);
+  while (future_.size() <= d)
+    future_.emplace_back(cnames_.size(), 0.0);
+  future_[d][channel] += delta;
+}
+
+void TimeSeries::close_window(double end_us) {
+  Window w;
+  w.index = cur_;
+  w.start_us = static_cast<double>(cur_) * window_us_;
+  w.end_us = end_us;
+  w.counters = std::move(counters_);
+  w.gauges.assign(gnames_.size(), 0.0);
+  if (sampler_) sampler_(end_us, w.gauges);
+  // Rotate the next window's buffered future counts into place.
+  if (future_.empty()) {
+    counters_.assign(cnames_.size(), 0.0);
+  } else {
+    counters_ = std::move(future_.front());
+    future_.pop_front();
+  }
+  ++cur_;
+  windows_.push_back(std::move(w));
+  if (on_close_) on_close_(windows_.back());
+}
+
+void TimeSeries::advance_slow(double t_us) {
+  while (static_cast<double>(cur_ + 1) * window_us_ <= t_us)
+    close_window(static_cast<double>(cur_ + 1) * window_us_);
+}
+
+void TimeSeries::finish(double end_us) {
+  SWATOP_CHECK(!finished_) << "finish() twice";
+  advance(end_us);
+  SWATOP_CHECK(end_us >= static_cast<double>(cur_) * window_us_)
+      << "finish at t=" << end_us << " us precedes the open window";
+  // Any buffered window beyond the open one would hold a count dated past
+  // the declared end of the run.
+  SWATOP_CHECK(future_.empty())
+      << "buffered counts beyond the finish time " << end_us;
+  close_window(end_us);
+  finished_ = true;
+}
+
+std::vector<double> TimeSeries::totals() const {
+  std::vector<double> sums(cnames_.size(), 0.0);
+  for (const Window& w : windows_)
+    for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += w.counters[i];
+  return sums;
+}
+
+std::string TimeSeries::jsonl() const {
+  std::string out;
+  for (const Window& w : windows_) {
+    out += "{\"window\":" + std::to_string(w.index);
+    out += ",\"start_us\":";
+    append_num(out, w.start_us);
+    out += ",\"end_us\":";
+    append_num(out, w.end_us);
+    for (std::size_t i = 0; i < cnames_.size(); ++i) {
+      out += ",\"" + cnames_[i] + "\":";
+      append_num(out, w.counters[i]);
+    }
+    for (std::size_t i = 0; i < gnames_.size(); ++i) {
+      out += ",\"" + gnames_[i] + "\":";
+      append_num(out, w.gauges[i]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace swatop::obs

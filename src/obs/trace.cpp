@@ -91,8 +91,8 @@ void write_metadata(std::ostream& os, const char* what, int pid, int tid,
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& os,
-                        const std::vector<TraceEvent>& evs) {
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& evs,
+                        std::int64_t dropped) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   write_metadata(os, "process_name", 0, 0,
                  "simulated core group (ts = CPE cycles)", false);
@@ -121,12 +121,36 @@ void write_chrome_trace(std::ostream& os,
   os << ",\n";
   write_metadata(os, "thread_name", 2, Track::kServeAdmission, "admission",
                  true);
+  for (int r = 0; r < Track::kServeRequestTracks; ++r) {
+    os << ",\n";
+    const std::string name = "requests-" + std::to_string(r);
+    write_metadata(os, "thread_name", 2, Track::kServeRequest0 + r,
+                   name.c_str(), true);
+  }
+  if (dropped > 0) {
+    // Surfaced in the artifact itself: the ring buffer overwrote this many
+    // events, so the exported window is the tail of the run.
+    os << ",\n{\"ph\":\"M\",\"name\":\"trace_buffer_dropped_events\","
+          "\"pid\":0,\"args\":{\"dropped\":"
+       << dropped << "}}";
+  }
   for (const TraceEvent& e : evs) {
     os << ",\n{\"name\":";
     write_json_string(os, e.name);
-    os << ",\"cat\":\"" << category_name(e.cat) << "\",\"ph\":\""
-       << (e.instant ? 'i' : 'X') << "\",\"pid\":" << e.pid
-       << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+    os << ",\"cat\":\"" << category_name(e.cat) << "\",\"ph\":\"";
+    if (e.flow != 0)
+      os << e.flow;
+    else
+      os << (e.instant ? 'i' : 'X');
+    os << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts;
+    if (e.flow != 0) {
+      os << ",\"id\":" << e.flow_id;
+      // Bind the flow end to the enclosing slice, not the next slice.
+      if (e.flow == 'f') os << ",\"bp\":\"e\"";
+      os << '}';
+      continue;
+    }
     if (!e.instant) os << ",\"dur\":" << e.dur;
     if (e.instant) os << ",\"s\":\"t\"";
     bool any = false;

@@ -41,6 +41,11 @@ struct Track {
   /// admission track for reject/shed instants.
   static constexpr int kServeChip0 = 0;
   static constexpr int kServeAdmission = 64;
+  /// Request-lifecycle tracks (pid 2): sampled requests spread their span
+  /// chains over kServeRequestTracks tracks (kServeRequest0 + id % N) so
+  /// concurrent requests rarely overlap on one line.
+  static constexpr int kServeRequest0 = 1 << 20;
+  static constexpr int kServeRequestTracks = 4;
 };
 
 struct TraceEvent {
@@ -52,6 +57,12 @@ struct TraceEvent {
   double ts = 0.0;   ///< begin, cycles (pid 0) or microseconds (pid 1/2)
   double dur = 0.0;  ///< duration; 0 with instant=true means instant event
   bool instant = false;
+  /// Flow linkage (Chrome flow events): 0 = not a flow event; 's'/'t'/'f'
+  /// = flow start / step / end at (pid, tid, ts), causally chaining the
+  /// events that share one flow_id. A well-formed chain is one 's',
+  /// zero or more 't's, one 'f' (ts non-decreasing along the chain).
+  char flow = 0;
+  std::int64_t flow_id = 0;
   /// Up to three numeric arguments (bytes, transactions, dims, ...); the
   /// names give the Chrome "args" keys. Unused slots have a null name.
   const char* arg_name[3] = {nullptr, nullptr, nullptr};
@@ -84,7 +95,11 @@ class TraceBuffer {
 
 /// Serialize events as a Chrome trace-event JSON document (the
 /// {"traceEvents": [...]} object form), including process/thread metadata
-/// naming the cycle-time and wall-clock tracks.
-void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& evs);
+/// naming the cycle-time and wall-clock tracks. `dropped` is the ring
+/// buffer's overwrite count (TraceBuffer::dropped()); when non-zero it is
+/// recorded as a metadata event so a truncated trace is diagnosable from
+/// the artifact alone.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& evs,
+                        std::int64_t dropped = 0);
 
 }  // namespace swatop::obs

@@ -53,6 +53,18 @@ double Fleet::dispatch(int chip, double now_us, double exec_us,
   return c.free_at_us;
 }
 
+bool Fleet::busy_at(int chip, double t_us) const {
+  SWATOP_CHECK(chip >= 0 && chip < cfg_.chips) << "chip " << chip;
+  return chips_[static_cast<std::size_t>(chip)].free_at_us > t_us;
+}
+
+int Fleet::busy_count(double t_us) const {
+  int n = 0;
+  for (const ChipStats& c : chips_)
+    if (c.free_at_us > t_us) ++n;
+  return n;
+}
+
 double Fleet::total_busy_us() const {
   double t = 0.0;
   for (const ChipStats& c : chips_) t += c.busy_us;

@@ -45,6 +45,11 @@ class Fleet {
   double dispatch(int chip, double now_us, double exec_us,
                   std::int64_t images);
 
+  /// Whether `chip` is still executing at time `t` (telemetry gauge).
+  bool busy_at(int chip, double t_us) const;
+  /// Number of chips still executing at time `t` (telemetry gauge).
+  int busy_count(double t_us) const;
+
   struct ChipStats {
     double free_at_us = 0.0;
     double busy_us = 0.0;          ///< total executed work

@@ -6,9 +6,11 @@
 #include <cstdio>
 #include <limits>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "obs/histogram.hpp"
 
 namespace swatop::serve {
 
@@ -35,14 +37,12 @@ std::vector<std::int64_t> ladder_parts(std::int64_t images,
   return parts;
 }
 
+/// Exact ceil-rank percentile of sorted microsecond samples, in ms. The
+/// rank rule lives in obs::exact_percentile, shared with the streaming
+/// histogram's error-bound contract (the report is the exact oracle the
+/// per-window quantiles are validated against).
 double percentile_ms(const std::vector<double>& sorted_us, double q) {
-  if (sorted_us.empty()) return 0.0;
-  const std::size_t n = sorted_us.size();
-  std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  if (rank > n) rank = n;
-  return sorted_us[rank - 1] / 1e3;
+  return obs::exact_percentile(sorted_us, q) / 1e3;
 }
 
 void appendf(std::string& out, const char* fmt, ...) {
@@ -100,10 +100,14 @@ ServingReport Server::run(const std::vector<Request>& trace) {
     double max_finish_us = 0.0;   ///< latest finish among dispatched parts
     double dispatched_us = 0.0;   ///< chip-time share of dispatched parts
     bool done = false;
+    bool sampled = false;  ///< emits lifecycle flow spans into the trace
+    bool started = false;  ///< at least one slice dispatched
   };
   std::vector<Inflight> state(trace.size());
   std::unordered_map<std::int64_t, std::size_t> index;
   index.reserve(trace.size());
+  // Sorted net universe for the telemetry's per-net windows.
+  std::map<std::string, std::size_t> net_index;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const Request& r = trace[i];
     SWATOP_CHECK(!r.net.empty() && r.images >= 1)
@@ -114,6 +118,21 @@ ServingReport Server::run(const std::vector<Request>& trace) {
         << "duplicate request id " << r.id;
     rep.records[i].req = r;
     rep.images_offered += r.images;
+    net_index.emplace(r.net, 0);
+  }
+  std::vector<std::string> net_names;
+  net_names.reserve(net_index.size());
+  for (auto& [name, idx] : net_index) {
+    idx = net_names.size();
+    net_names.push_back(name);
+  }
+  // Net index per request, resolved once -- the telemetry hooks fire
+  // several times per request and must not pay a string-map lookup each.
+  std::vector<std::size_t> net_of;
+  if (cfg_.telemetry.enabled) {
+    net_of.resize(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      net_of[i] = net_index.at(trace[i].net);
   }
   rep.offered = static_cast<std::int64_t>(trace.size());
   if (!trace.empty()) {
@@ -126,6 +145,62 @@ ServingReport Server::run(const std::vector<Request>& trace) {
   double last_finish = 0.0;
   double depth_integral = 0.0;
   std::size_t next = 0;  // next trace index to admit
+  std::int64_t live_requests = 0;  // admitted, not yet finalized
+
+  // The flight recorder: windowed counters/gauges plus per-window latency
+  // histograms. Gauges read the batcher/fleet state at each window close
+  // (exact between discrete events).
+  std::optional<ServeTelemetry> telem;
+  if (cfg_.telemetry.enabled) {
+    telem.emplace(cfg_.telemetry, net_names, fleet.chips(),
+                  [&](double t, std::vector<double>& g) {
+                    g[0] = static_cast<double>(batcher.queued_images());
+                    g[1] = static_cast<double>(batcher.queued_requests());
+                    g[2] = static_cast<double>(live_requests);
+                    g[3] = static_cast<double>(fleet.busy_count(t));
+                    const int n =
+                        std::min(fleet.chips(),
+                                 ServeTelemetry::kMaxChipGauges);
+                    for (int c = 0; c < n; ++c)
+                      g[4 + static_cast<std::size_t>(c)] =
+                          fleet.busy_at(c, t) ? 1.0 : 0.0;
+                  });
+  }
+  const double sample_frac = cfg_.telemetry.trace_sample;
+
+  // Request-lifecycle spans land on one of the request tracks; dur-0
+  // spans give flow starts/ends a slice to bind to.
+  auto request_track = [](std::int64_t id) {
+    return obs::Track::kServeRequest0 +
+           static_cast<int>(static_cast<std::uint64_t>(id) %
+                            obs::Track::kServeRequestTracks);
+  };
+  auto request_span = [&](const Request& r, const char* what, double ts,
+                          double dur) {
+    obs::TraceEvent ev;
+    ev.name = std::string(what) + ":" + r.net;
+    ev.cat = obs::Category::Serve;
+    ev.pid = 2;
+    ev.tid = request_track(r.id);
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.arg_name[0] = "request";
+    ev.arg[0] = r.id;
+    ev.arg_name[1] = "images";
+    ev.arg[1] = r.images;
+    rec_->trace_event(std::move(ev));
+  };
+  auto request_flow = [&](const Request& r, char phase, int tid, double ts) {
+    obs::TraceEvent ev;
+    ev.name = "req:" + std::to_string(r.id);
+    ev.cat = obs::Category::Serve;
+    ev.pid = 2;
+    ev.tid = tid;
+    ev.ts = ts;
+    ev.flow = phase;
+    ev.flow_id = r.id;
+    rec_->trace_event(std::move(ev));
+  };
 
   auto finalize = [&](std::size_t i, Outcome o, double finish_us) {
     RequestRecord& rec = rep.records[i];
@@ -134,6 +209,7 @@ ServingReport Server::run(const std::vector<Request>& trace) {
     st.done = true;
     rec.outcome = o;
     rec.finish_us = finish_us;
+    if (o != Outcome::Rejected) --live_requests;
     switch (o) {
       case Outcome::Completed: {
         rec.latency_us = finish_us - rec.req.arrival_us;
@@ -141,10 +217,15 @@ ServingReport Server::run(const std::vector<Request>& trace) {
         rep.images_completed += rec.req.images;
         last_finish = std::max(last_finish, finish_us);
         if (rec.latency_us > rec.req.slo_us + kLateEpsUs) ++rep.slo_violations;
+        if (telem)
+          telem->on_completed(net_of[i], finish_us, rec.latency_us,
+                              rec.req.images,
+                              rec.latency_us > rec.req.slo_us + kLateEpsUs);
         break;
       }
       case Outcome::Rejected:
         ++rep.rejected;
+        if (telem) telem->on_rejected(net_of[i], finish_us);
         break;
       case Outcome::Shed:
         ++rep.shed;
@@ -152,7 +233,18 @@ ServingReport Server::run(const std::vector<Request>& trace) {
         // Parts already on a chip keep running; the fleet stays busy with
         // work nobody will receive.  That time is reported, not hidden.
         last_finish = std::max(last_finish, st.max_finish_us);
+        if (telem) telem->on_shed(net_of[i], finish_us);
         break;
+    }
+    if (st.sampled) {
+      // Close the lifecycle chain on the request track: an un-dispatched
+      // request still owes its "queued" span (arrival -> drop decision),
+      // then a dur-0 terminal span anchors the flow end.
+      if (!st.started && o != Outcome::Rejected)
+        request_span(rec.req, "queued", rec.req.arrival_us,
+                     finish_us - rec.req.arrival_us);
+      request_span(rec.req, outcome_name(o), finish_us, 0.0);
+      request_flow(rec.req, 'f', request_track(rec.req.id), finish_us);
     }
     if (tracing && o != Outcome::Completed) {
       obs::TraceEvent ev;
@@ -177,6 +269,13 @@ ServingReport Server::run(const std::vector<Request>& trace) {
   // check at dispatch below.
   auto admit = [&](std::size_t i) {
     const Request& r = trace[i];
+    if (telem) telem->on_arrival(net_of[i], r.arrival_us);
+    if (tracing && sample_frac > 0.0 && sample_request(r.id, sample_frac)) {
+      state[i].sampled = true;
+      if (telem) telem->note_sampled();
+      request_span(r, "arrive", r.arrival_us, 0.0);
+      request_flow(r, 's', request_track(r.id), r.arrival_us);
+    }
     if (cfg_.admission.enabled) {
       const double start = fleet.earliest_start_us(now);
       double exec_max = 0.0;
@@ -189,6 +288,8 @@ ServingReport Server::run(const std::vector<Request>& trace) {
       }
     }
     batcher.enqueue(r);
+    ++live_requests;
+    if (telem) telem->on_admitted(net_of[i], now);
   };
 
   // Dispatch: fill idle chips with ready sub-batches, shedding any request
@@ -223,12 +324,22 @@ ServingReport Server::run(const std::vector<Request>& trace) {
           << "pop diverged from peek";
       const double finish = fleet.dispatch(chip, now, exec, sb->images);
       ++rep.batches;
+      if (telem) telem->on_dispatch(now, sb->images, exec);
       for (const SubBatch::Slice& s : sb->slices) {
         const std::size_t i = index.at(s.request_id);
         Inflight& st = state[i];
         st.max_finish_us = std::max(st.max_finish_us, finish);
         st.dispatched_us += exec * static_cast<double>(s.images) /
                             static_cast<double>(sb->images);
+        if (st.sampled) {
+          // The wait is over once the first slice lands on a chip; each
+          // slice adds a flow step bound to that chip's sub-batch span.
+          if (!st.started)
+            request_span(trace[i], "queued", trace[i].arrival_us,
+                         now - trace[i].arrival_us);
+          request_flow(trace[i], 't', obs::Track::kServeChip0 + chip, now);
+        }
+        st.started = true;
         if (s.final_slice) finalize(i, Outcome::Completed, st.max_finish_us);
       }
       if (tracing) {
@@ -264,11 +375,54 @@ ServingReport Server::run(const std::vector<Request>& trace) {
     if (t == kInf) break;
     SWATOP_CHECK(t > now) << "event loop stuck at t=" << t;
     depth_integral += static_cast<double>(batcher.queued_images()) * (t - now);
+    if (telem) telem->advance(t);
     now = t;
   }
   SWATOP_CHECK(batcher.empty()) << "event loop exited with queued work";
   SWATOP_CHECK(rep.completed + rep.rejected + rep.shed == rep.offered)
       << "request accounting out of sync";
+  if (telem) {
+    // The loop exits only once every chip is idle, so `now` is past every
+    // buffered completion timestamp.
+    telem->finish(now);
+    rep.telemetry = telem->result();
+    // Conservation: the windows tile the run, so summing any counter over
+    // the timeline must reproduce the end-of-run total.
+    std::int64_t arrivals = 0, admitted = 0, rejected = 0, shed = 0,
+                 completed = 0, images = 0, batches = 0;
+    for (const TelemetryWindow& w : rep.telemetry.windows) {
+      arrivals += w.arrivals;
+      admitted += w.admitted;
+      rejected += w.rejected;
+      shed += w.shed;
+      completed += w.completed;
+      images += w.images_completed;
+      batches += w.batches;
+    }
+    SWATOP_CHECK(arrivals == rep.offered && admitted + rejected == rep.offered)
+        << "telemetry arrival windows do not tile the run";
+    SWATOP_CHECK(rejected == rep.rejected && shed == rep.shed &&
+                 completed == rep.completed && images == rep.images_completed)
+        << "telemetry outcome windows do not tile the run";
+    SWATOP_CHECK(batches == rep.batches)
+        << "telemetry dispatch windows do not tile the run";
+    if (tracing) {
+      for (const BurnAlert& a : rep.telemetry.alerts) {
+        obs::TraceEvent ev;
+        ev.name = "burn-alert:" + a.net;
+        ev.cat = obs::Category::Serve;
+        ev.pid = 2;
+        ev.tid = obs::Track::kServeAdmission;
+        ev.ts = a.t_us;
+        ev.instant = true;
+        ev.arg_name[0] = "window";
+        ev.arg[0] = a.window;
+        ev.arg_name[1] = "burn_x100";
+        ev.arg[1] = static_cast<std::int64_t>(a.burn * 100.0);
+        rec_->trace_event(std::move(ev));
+      }
+    }
+  }
 
   // -- Report assembly ----------------------------------------------------
   rep.shed_rate =
@@ -399,6 +553,25 @@ std::string ServingReport::text() const {
             static_cast<long long>(ns.rejected),
             static_cast<long long>(ns.shed), ns.p50_ms, ns.p99_ms, ns.slo_ms);
   }
+  if (telemetry.enabled) {
+    appendf(out,
+            "telemetry  %zu windows of %.0f ms, %zu burn alerts, %lld "
+            "requests lifecycle-traced\n",
+            telemetry.windows.size(), telemetry.window_us / 1e3,
+            telemetry.alerts.size(),
+            static_cast<long long>(telemetry.sampled_requests));
+    for (const NetStreamingStats& s : telemetry.per_net)
+      appendf(out,
+              "  stream %-8s completed %-5lld p50 %8.2f ms  p99 %8.2f ms  "
+              "(streaming, <=%.2f%% rel err)\n",
+              s.net.c_str(), static_cast<long long>(s.completed), s.p50_ms,
+              s.p99_ms, 100.0 * obs::LatencyHistogram::kMaxRelError);
+    for (const BurnAlert& a : telemetry.alerts)
+      appendf(out, "  alert  %-8s window %-4lld at %8.1f ms: burn %.1fx "
+              "the error budget\n",
+              a.net.c_str(), static_cast<long long>(a.window), a.t_us / 1e3,
+              a.burn);
+  }
   return out;
 }
 
@@ -457,7 +630,7 @@ std::string ServingReport::json() const {
     append_kv(out, "images", c.images, true);
     out += '}';
   }
-  out += "]}";
+  out += "],\"telemetry\":" + telemetry.json() + "}";
   return out;
 }
 

@@ -36,6 +36,7 @@
 #include "serve/cost.hpp"
 #include "serve/fleet.hpp"
 #include "serve/request.hpp"
+#include "serve/telemetry.hpp"
 
 namespace swatop::serve {
 
@@ -53,6 +54,7 @@ struct ServerConfig {
   BatcherConfig batcher;
   FleetConfig fleet;
   AdmissionConfig admission;
+  TelemetryConfig telemetry;  ///< flight recorder (off by default)
 };
 
 /// Per-network slice of the report.
@@ -112,11 +114,19 @@ struct ServingReport {
   std::vector<Fleet::ChipStats> chips;
   std::vector<RequestRecord> records;  ///< per-request ledger, id order
 
+  /// Windowed flight-recorder timeline (empty stub unless
+  /// ServerConfig::telemetry.enabled). Window counter sums are checked
+  /// against the totals above before the report is returned.
+  TelemetryResult telemetry;
+
   /// Human-readable multi-line summary.
   std::string text() const;
   /// Machine-readable JSON object (stable field order, %.17g doubles:
   /// byte-identical for identical runs). `records` are not included.
   std::string json() const;
+  /// The telemetry timeline as JSONL, one window per line (empty when
+  /// telemetry was off). Byte-identical for identical runs.
+  std::string timeline_jsonl() const { return telemetry.jsonl(); }
 };
 
 class Server {

@@ -1,0 +1,332 @@
+#include "serve/telemetry.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace swatop::serve {
+
+namespace {
+
+/// splitmix64 finalizer (same constants as traffic.cpp's seeding) -- a
+/// high-quality 64-bit mix, so consecutive request ids sample like
+/// independent coin flips.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Names of ServeTelemetry::Channel, in enum order.
+const char* const kChannelNames[] = {
+    "arrivals", "admitted",          "rejected", "shed",
+    "completed", "images_completed", "batches",  "images_dispatched",
+    "busy_us",
+};
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, double v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  append_num(out, v);
+}
+
+void append_kv(std::string& out, const char* key, std::int64_t v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_net(std::string& out, const WindowNetStats& n) {
+  out += "{\"net\":\"" + n.net + "\"";
+  append_kv(out, "offered", n.offered);
+  append_kv(out, "completed", n.completed);
+  append_kv(out, "rejected", n.rejected);
+  append_kv(out, "shed", n.shed);
+  append_kv(out, "late", n.late);
+  append_kv(out, "p50_ms", n.p50_ms);
+  append_kv(out, "p99_ms", n.p99_ms);
+  append_kv(out, "burn", n.burn);
+  out += "}";
+}
+
+void append_window(std::string& out, const TelemetryWindow& w,
+                   const std::vector<const BurnAlert*>& alerts) {
+  out += "{\"window\":" + std::to_string(w.index);
+  append_kv(out, "start_us", w.start_us);
+  append_kv(out, "end_us", w.end_us);
+  append_kv(out, "arrivals", w.arrivals);
+  append_kv(out, "admitted", w.admitted);
+  append_kv(out, "rejected", w.rejected);
+  append_kv(out, "shed", w.shed);
+  append_kv(out, "completed", w.completed);
+  append_kv(out, "images_completed", w.images_completed);
+  append_kv(out, "batches", w.batches);
+  append_kv(out, "images_dispatched", w.images_dispatched);
+  append_kv(out, "busy_us", w.busy_us);
+  append_kv(out, "queue_images", w.queue_images);
+  append_kv(out, "queue_requests", w.queue_requests);
+  append_kv(out, "inflight_requests", w.inflight_requests);
+  append_kv(out, "busy_chips", w.busy_chips);
+  if (!w.chip_busy.empty()) {
+    out += ",\"chip_busy\":[";
+    for (std::size_t i = 0; i < w.chip_busy.size(); ++i) {
+      if (i) out += ",";
+      append_num(out, w.chip_busy[i]);
+    }
+    out += "]";
+  }
+  append_kv(out, "lat_count", w.lat_count);
+  append_kv(out, "p50_ms", w.p50_ms);
+  append_kv(out, "p99_ms", w.p99_ms);
+  out += ",\"nets\":[";
+  for (std::size_t i = 0; i < w.nets.size(); ++i) {
+    if (i) out += ",";
+    append_net(out, w.nets[i]);
+  }
+  out += "]";
+  if (!alerts.empty()) {
+    out += ",\"alerts\":[";
+    for (std::size_t i = 0; i < alerts.size(); ++i) {
+      if (i) out += ",";
+      out += "{\"net\":\"" + alerts[i]->net + "\"";
+      append_kv(out, "burn", alerts[i]->burn);
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+bool sample_request(std::int64_t id, double fraction) {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  const std::uint64_t h = mix64(static_cast<std::uint64_t>(id));
+  // Top 53 bits -> [0, 1), the same uniform construction as serve::Rng.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < fraction;
+}
+
+ServeTelemetry::ServeTelemetry(const TelemetryConfig& cfg,
+                               std::vector<std::string> nets, int chips,
+                               GaugeSampler sampler)
+    : cfg_(cfg),
+      nets_(std::move(nets)),
+      chips_(chips),
+      ts_(cfg.window_us,
+          std::vector<std::string>(kChannelNames,
+                                   kChannelNames + kNumChannels),
+          [chips] {
+            std::vector<std::string> g = {"queue_images", "queue_requests",
+                                          "inflight_requests", "busy_chips"};
+            const int n = chips < kMaxChipGauges ? chips : kMaxChipGauges;
+            for (int i = 0; i < n; ++i)
+              g.push_back("chip_busy_" + std::to_string(i));
+            return g;
+          }(),
+          std::move(sampler)),
+      cur_nets_(nets_.size()) {
+  SWATOP_CHECK(cfg_.window_us > 0.0)
+      << "telemetry window " << cfg_.window_us << " us";
+  SWATOP_CHECK(cfg_.slo_budget > 0.0)
+      << "slo error budget " << cfg_.slo_budget;
+  // Rotate the per-net slot ring in lockstep with the TimeSeries windows:
+  // the slots accumulated for the just-closed window move to the archive
+  // and the next window's buffered slots (if any) become current.
+  ts_.set_on_close([this](const obs::TimeSeries::Window&) {
+    archive_.push_back(std::move(cur_nets_));
+    if (future_nets_.empty()) {
+      cur_nets_ = std::vector<NetWindow>(nets_.size());
+    } else {
+      cur_nets_ = std::move(future_nets_.front());
+      future_nets_.pop_front();
+    }
+    ++cur_win_;
+  });
+}
+
+ServeTelemetry::NetWindow& ServeTelemetry::net_at_future(std::int64_t idx,
+                                                         std::size_t net) {
+  SWATOP_CHECK(idx > cur_win_)
+      << "net slot for window " << idx << " precedes the open window "
+      << cur_win_;
+  const std::size_t d = static_cast<std::size_t>(idx - cur_win_ - 1);
+  while (future_nets_.size() <= d)
+    future_nets_.emplace_back(nets_.size());
+  return future_nets_[d][net];
+}
+
+void ServeTelemetry::finish(double end_us) { ts_.finish(end_us); }
+
+TelemetryResult ServeTelemetry::result() const {
+  SWATOP_CHECK(ts_.finished()) << "telemetry result() before finish()";
+  SWATOP_CHECK(archive_.size() == ts_.windows().size())
+      << "net-slot archive (" << archive_.size() << ") out of step with "
+      << ts_.windows().size() << " windows";
+  TelemetryResult r;
+  r.enabled = true;
+  r.window_us = cfg_.window_us;
+  r.sampled_requests = sampled_;
+
+  std::vector<double> prev_burn(nets_.size(), 0.0);
+  std::vector<obs::LatencyHistogram> net_lat(nets_.size());
+  std::vector<std::int64_t> net_completed(nets_.size(), 0);
+  obs::LatencyHistogram wlat;  // scratch, cleared per window
+  r.windows.reserve(ts_.windows().size());
+
+  for (std::size_t wi = 0; wi < ts_.windows().size(); ++wi) {
+    const obs::TimeSeries::Window& src = ts_.windows()[wi];
+    TelemetryWindow w;
+    w.index = src.index;
+    w.start_us = src.start_us;
+    w.end_us = src.end_us;
+    w.arrivals = static_cast<std::int64_t>(src.counters[kArrivals]);
+    w.admitted = static_cast<std::int64_t>(src.counters[kAdmitted]);
+    w.rejected = static_cast<std::int64_t>(src.counters[kRejected]);
+    w.shed = static_cast<std::int64_t>(src.counters[kShed]);
+    w.completed = static_cast<std::int64_t>(src.counters[kCompleted]);
+    w.images_completed =
+        static_cast<std::int64_t>(src.counters[kImagesCompleted]);
+    w.batches = static_cast<std::int64_t>(src.counters[kBatches]);
+    w.images_dispatched =
+        static_cast<std::int64_t>(src.counters[kImagesDispatched]);
+    w.busy_us = src.counters[kBusyUs];
+    w.queue_images = src.gauges[0];
+    w.queue_requests = src.gauges[1];
+    w.inflight_requests = src.gauges[2];
+    w.busy_chips = src.gauges[3];
+    w.chip_busy.assign(src.gauges.begin() + 4, src.gauges.end());
+
+    // The window's overall latency histogram is the merge of its per-net
+    // histograms (the mergeability contract doing hot-path work: one
+    // histogram add per completion in the loop, the union built here).
+    const std::vector<NetWindow>& slots = archive_[wi];
+    wlat.clear();
+    for (const NetWindow& nw : slots) wlat.merge(nw.lat);
+    if (!wlat.empty()) {
+      w.lat_count = wlat.count();
+      w.p50_ms = wlat.quantile(0.50);
+      w.p99_ms = wlat.quantile(0.99);
+    }
+
+    // Per-net slices of this window, in net-universe (sorted) order; only
+    // nets with activity are emitted.
+    std::vector<double> burn_now(nets_.size(), 0.0);
+    for (std::size_t net = 0; net < slots.size(); ++net) {
+      const NetWindow& nw = slots[net];
+      if (nw.offered + nw.completed + nw.rejected + nw.shed == 0) continue;
+      WindowNetStats s;
+      s.net = nets_[net];
+      s.offered = nw.offered;
+      s.completed = nw.completed;
+      s.rejected = nw.rejected;
+      s.shed = nw.shed;
+      s.late = nw.late;
+      if (!nw.lat.empty()) {
+        s.p50_ms = nw.lat.quantile(0.50);
+        s.p99_ms = nw.lat.quantile(0.99);
+      }
+      if (nw.offered > 0) {
+        const double err =
+            static_cast<double>(nw.rejected + nw.shed + nw.late) /
+            static_cast<double>(nw.offered);
+        s.burn = err / cfg_.slo_budget;
+      }
+      burn_now[net] = s.burn;
+      net_lat[net].merge(nw.lat);
+      net_completed[net] += nw.completed;
+      w.nets.push_back(std::move(s));
+    }
+
+    // Rising-edge burn alerts, stamped at the window close.
+    for (std::size_t net = 0; net < nets_.size(); ++net) {
+      if (prev_burn[net] < cfg_.burn_threshold &&
+          burn_now[net] >= cfg_.burn_threshold) {
+        BurnAlert a;
+        a.net = nets_[net];
+        a.window = w.index;
+        a.t_us = w.end_us;
+        a.burn = burn_now[net];
+        r.alerts.push_back(std::move(a));
+      }
+      prev_burn[net] = burn_now[net];
+    }
+
+    r.windows.push_back(std::move(w));
+  }
+
+  for (std::size_t net = 0; net < nets_.size(); ++net) {
+    if (net_completed[net] == 0) continue;
+    NetStreamingStats s;
+    s.net = nets_[net];
+    s.completed = net_completed[net];
+    s.p50_ms = net_lat[net].quantile(0.50);
+    s.p99_ms = net_lat[net].quantile(0.99);
+    r.per_net.push_back(std::move(s));
+  }
+  return r;
+}
+
+std::string TelemetryResult::jsonl() const {
+  std::string out;
+  std::size_t next_alert = 0;
+  for (const TelemetryWindow& w : windows) {
+    std::vector<const BurnAlert*> here;
+    while (next_alert < alerts.size() &&
+           alerts[next_alert].window == w.index)
+      here.push_back(&alerts[next_alert++]);
+    append_window(out, w, here);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TelemetryResult::json() const {
+  std::string out = "{\"enabled\":";
+  out += enabled ? "true" : "false";
+  append_kv(out, "window_us", window_us);
+  append_kv(out, "windows_n", static_cast<std::int64_t>(windows.size()));
+  append_kv(out, "sampled_requests", sampled_requests);
+  out += ",\"windows\":[";
+  std::size_t next_alert = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i) out += ",";
+    std::vector<const BurnAlert*> here;
+    while (next_alert < alerts.size() &&
+           alerts[next_alert].window == windows[i].index)
+      here.push_back(&alerts[next_alert++]);
+    append_window(out, windows[i], here);
+  }
+  out += "],\"alerts\":[";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"net\":\"" + alerts[i].net + "\"";
+    append_kv(out, "window", alerts[i].window);
+    append_kv(out, "t_us", alerts[i].t_us);
+    append_kv(out, "burn", alerts[i].burn);
+    out += "}";
+  }
+  out += "],\"per_net\":[";
+  for (std::size_t i = 0; i < per_net.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"net\":\"" + per_net[i].net + "\"";
+    append_kv(out, "completed", per_net[i].completed);
+    append_kv(out, "p50_ms", per_net[i].p50_ms);
+    append_kv(out, "p99_ms", per_net[i].p99_ms);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace swatop::serve

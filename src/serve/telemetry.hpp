@@ -1,0 +1,232 @@
+// Streaming telemetry for the serving front-end: fixed-width windows over
+// the simulated clock (obs/timeseries.hpp), per-window and per-net latency
+// histograms (obs/histogram.hpp), and a per-net SLO burn-rate monitor.
+//
+// The server drives one ServeTelemetry from the exact event-loop sites
+// that decide outcomes; nothing is re-derived after the fact. Windows are
+// anchored at t = 0 and tile the run exactly -- summing any per-window
+// counter over the timeline reproduces the end-of-run report total, which
+// Server::run checks. Completion events are dated at their *finish* time
+// (known at dispatch), so a request appears in the window it actually
+// completed in, not the window it was placed in; chip busy time is
+// attributed to the dispatch window (documented, conserved).
+//
+// Burn rate: a window's per-net error fraction (rejected + shed + late
+// completions, over that window's arrivals) divided by the configured SLO
+// error budget. burn = 1 means the service is failing exactly at budget;
+// a window whose burn crosses `burn_threshold` from below records an
+// alert into the timeline, the report and (when tracing) the Chrome
+// trace. Everything here is deterministic: one (trace, cost) pair yields
+// a byte-identical timeline JSONL at any tuner thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
+
+namespace swatop::serve {
+
+struct TelemetryConfig {
+  bool enabled = false;     ///< collect the windowed timeline
+  double window_us = 100e3; ///< fixed window width (default 100 ms)
+  /// Fraction of requests emitting lifecycle span chains into the Chrome
+  /// trace (deterministic request-id-hash sampling; needs a tracing
+  /// recorder). 0 = off, 1 = every request.
+  double trace_sample = 0.0;
+  /// Per-net SLO error budget: the fraction of a window's offered
+  /// requests allowed to fail (reject/shed/late) before burn = 1.
+  double slo_budget = 0.05;
+  /// Record an alert when a window's burn rate crosses this from below.
+  double burn_threshold = 2.0;
+};
+
+/// Deterministic sampling decision: hashes the request id (splitmix64)
+/// into [0, 1) and compares against `fraction`. Identical across runs,
+/// platforms and tuner thread counts; independent of arrival order.
+bool sample_request(std::int64_t id, double fraction);
+
+/// Per-net slice of one window (only nets with activity are emitted).
+struct WindowNetStats {
+  std::string net;
+  std::int64_t offered = 0;    ///< arrivals in this window
+  std::int64_t completed = 0;  ///< completions dated in this window
+  std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  std::int64_t late = 0;       ///< completed past SLO (admission off)
+  double p50_ms = 0.0;         ///< histogram percentiles of this window's
+  double p99_ms = 0.0;         ///< completions (kMaxRelError bound)
+  double burn = 0.0;           ///< error fraction / slo_budget
+};
+
+struct TelemetryWindow {
+  std::int64_t index = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  // Counters summed over the window.
+  std::int64_t arrivals = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  std::int64_t completed = 0;
+  std::int64_t images_completed = 0;
+  std::int64_t batches = 0;
+  std::int64_t images_dispatched = 0;
+  double busy_us = 0.0;  ///< exec time of batches dispatched in the window
+  // Gauges sampled at window close.
+  double queue_images = 0.0;
+  double queue_requests = 0.0;
+  double inflight_requests = 0.0;  ///< admitted, not yet resolved
+  double busy_chips = 0.0;
+  std::vector<double> chip_busy;  ///< 0/1 per chip (first kMaxChipGauges)
+  // Streaming latency percentiles of this window's completions.
+  std::int64_t lat_count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::vector<WindowNetStats> nets;
+};
+
+/// One burn-rate threshold crossing (rising edge), stamped at the close
+/// of the window that crossed.
+struct BurnAlert {
+  std::string net;
+  std::int64_t window = 0;
+  double t_us = 0.0;
+  double burn = 0.0;
+};
+
+/// Whole-run per-net streaming percentiles (every window's histogram
+/// merged -- the mergeability contract in action).
+struct NetStreamingStats {
+  std::string net;
+  std::int64_t completed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct TelemetryResult {
+  bool enabled = false;
+  double window_us = 0.0;
+  std::vector<TelemetryWindow> windows;
+  std::vector<BurnAlert> alerts;
+  std::vector<NetStreamingStats> per_net;
+  std::int64_t sampled_requests = 0;  ///< lifecycle-traced requests
+
+  /// One JSON object per line per window (alerts embedded in the window
+  /// that raised them); %.17g numbers, fixed field order -- byte-identical
+  /// for identical runs.
+  std::string jsonl() const;
+  /// The same windows as one JSON array plus summary fields, for
+  /// embedding in ServingReport::json().
+  std::string json() const;
+};
+
+/// The recording half: the server calls the on_*() hooks at its decision
+/// sites and finish() at loop exit; result() assembles the windows.
+class ServeTelemetry {
+ public:
+  static constexpr int kMaxChipGauges = 16;  ///< per-chip busy-flag cap
+
+  /// `nets` is the sorted universe of network names in the trace;
+  /// `sampler` fills the gauge values at each window close (queue depth,
+  /// in-flight, per-chip busy) -- state is constant between events, so
+  /// boundary sampling is exact.
+  using GaugeSampler = std::function<void(double t_us,
+                                          std::vector<double>& gauges)>;
+  ServeTelemetry(const TelemetryConfig& cfg, std::vector<std::string> nets,
+                 int chips, GaugeSampler sampler);
+
+  // Event hooks, all in simulated microseconds. `net` indexes the
+  // constructor's universe. Completion times may lie in the future.
+  // Inline: several fire per request on the serving event loop's hot
+  // path, and each must stay a window-index divide plus array adds.
+  void on_arrival(std::size_t net, double t_us) {
+    const std::int64_t idx = ts_.index_of(t_us);
+    ts_.count_at(idx, kArrivals);
+    net_at(idx, net).offered += 1;
+  }
+  void on_admitted(std::size_t, double t_us) { ts_.count(kAdmitted, t_us); }
+  void on_rejected(std::size_t net, double t_us) {
+    const std::int64_t idx = ts_.index_of(t_us);
+    ts_.count_at(idx, kRejected);
+    net_at(idx, net).rejected += 1;
+  }
+  void on_shed(std::size_t net, double t_us) {
+    const std::int64_t idx = ts_.index_of(t_us);
+    ts_.count_at(idx, kShed);
+    net_at(idx, net).shed += 1;
+  }
+  void on_dispatch(double t_us, std::int64_t images, double exec_us) {
+    const std::int64_t idx = ts_.index_of(t_us);
+    ts_.count_at(idx, kBatches);
+    ts_.count_at(idx, kImagesDispatched, static_cast<double>(images));
+    ts_.count_at(idx, kBusyUs, exec_us);
+  }
+  void on_completed(std::size_t net, double finish_us, double latency_us,
+                    std::int64_t images, bool late) {
+    const std::int64_t idx = ts_.index_of(finish_us);
+    ts_.count_at(idx, kCompleted);
+    ts_.count_at(idx, kImagesCompleted, static_cast<double>(images));
+    NetWindow& nw = net_at(idx, net);
+    nw.completed += 1;
+    nw.late += late ? 1 : 0;
+    nw.lat.add(latency_us / 1e3);
+  }
+
+  void advance(double t_us) { ts_.advance(t_us); }  ///< close windows to t
+  void finish(double end_us);   ///< close the final partial window
+
+  void note_sampled() { ++sampled_; }
+
+  /// Assemble the result (call once, after finish()).
+  TelemetryResult result() const;
+
+ private:
+  /// Counter channel layout inside the TimeSeries (order fixes the JSONL
+  /// field order; names live in telemetry.cpp).
+  enum Channel : std::size_t {
+    kArrivals,
+    kAdmitted,
+    kRejected,
+    kShed,
+    kCompleted,
+    kImagesCompleted,
+    kBatches,
+    kImagesDispatched,
+    kBusyUs,
+    kNumChannels,
+  };
+
+  struct NetWindow {
+    std::int64_t offered = 0, completed = 0, rejected = 0, shed = 0,
+                 late = 0;
+    obs::LatencyHistogram lat;
+  };
+
+  /// Accumulator slot for window `idx` and net `net`: the open window's
+  /// slots live in cur_nets_, window cur_win_ + 1 + d's in
+  /// future_nets_[d]. Rotation happens in the TimeSeries on_close
+  /// callback, keeping both rings in lockstep.
+  NetWindow& net_at(std::int64_t idx, std::size_t net) {
+    if (idx == cur_win_) return cur_nets_[net];
+    return net_at_future(idx, net);
+  }
+  NetWindow& net_at_future(std::int64_t idx, std::size_t net);
+
+  TelemetryConfig cfg_;
+  std::vector<std::string> nets_;
+  int chips_;
+  obs::TimeSeries ts_;
+  std::int64_t cur_win_ = 0;            ///< mirrors ts_'s open window
+  std::vector<NetWindow> cur_nets_;     ///< one slot per net
+  std::deque<std::vector<NetWindow>> future_nets_;
+  /// Per-net slots of every closed window, parallel to ts_.windows().
+  std::vector<std::vector<NetWindow>> archive_;
+  std::int64_t sampled_ = 0;
+};
+
+}  // namespace swatop::serve

@@ -325,6 +325,55 @@ TEST(Obs, TraceEscapesSpecialCharacters) {
   EXPECT_TRUE(v.valid()) << os.str();
 }
 
+TEST(Obs, DroppedEventsAreRecordedAsTraceMetadata) {
+  obs::TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceEvent ev;
+    ev.name = "e" + std::to_string(i);
+    ev.instant = true;
+    buf.record(std::move(ev));
+  }
+  ASSERT_EQ(buf.dropped(), 6);
+  std::ostringstream os;
+  obs::write_chrome_trace(os, buf.snapshot(), buf.dropped());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"trace_buffer_dropped_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos);
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json.substr(0, 200);
+  // A clean trace carries no dropped-event metadata.
+  std::ostringstream clean;
+  obs::write_chrome_trace(clean, buf.snapshot(), 0);
+  EXPECT_EQ(clean.str().find("trace_buffer_dropped_events"),
+            std::string::npos);
+}
+
+TEST(Obs, FlowEventsSerializeWithChromeFlowPhases) {
+  obs::TraceBuffer buf(8);
+  const char phases[3] = {'s', 't', 'f'};
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceEvent ev;
+    ev.name = "req";
+    ev.cat = obs::Category::Serve;
+    ev.pid = 2;
+    ev.ts = 10.0 * (i + 1);
+    ev.flow = phases[i];
+    ev.flow_id = 42;
+    buf.record(std::move(ev));
+  }
+  std::ostringstream os;
+  obs::write_chrome_trace(os, buf.snapshot());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  // Chrome's binding point: the flow end attaches to the enclosing slice.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json.substr(0, 200);
+}
+
 TEST(Obs, OneCallApiCarriesTuningHistory) {
   SwatopConfig cfg;
   cfg.observability.enabled = true;

@@ -56,6 +56,14 @@ void usage() {
       "output:\n"
       "  --json FILE           write the report JSON\n"
       "  --trace FILE          write the Chrome trace (pid 2 = fleet)\n"
+      "  --timeline FILE       write the flight-recorder timeline JSONL\n"
+      "                        (one window per line; render with\n"
+      "                        swatop_report serve-timeline FILE)\n"
+      "  --window-ms X         timeline window width (default 100)\n"
+      "  --trace-sample X      fraction of requests emitting lifecycle\n"
+      "                        span chains into --trace (default 0)\n"
+      "  --burn-budget X       per-window SLO error budget (default 0.05)\n"
+      "  --burn-threshold X    burn-rate alert threshold (default 2)\n"
       "  --quiet               suppress the text report\n"
       "asserts (CI smoke):\n"
       "  --assert-slo          fail if any completed request missed its SLO\n"
@@ -131,6 +139,7 @@ int main(int argc, char** argv) {
   std::string cache_path;
   std::string json_path;
   std::string trace_path;
+  std::string timeline_path;
   bool quiet = false;
   bool assert_slo = false;
   double shed_below = -1.0, shed_above = -1.0;
@@ -190,6 +199,23 @@ int main(int argc, char** argv) {
       json_path = args.value(a);
     } else if (a == "--trace") {
       trace_path = args.value(a);
+    } else if (a == "--timeline") {
+      timeline_path = args.value(a);
+      server.telemetry.enabled = true;
+    } else if (a == "--window-ms") {
+      server.telemetry.enabled = true;
+      server.telemetry.window_us = 1e3 * args.real(a, args.value(a), true);
+    } else if (a == "--trace-sample") {
+      server.telemetry.trace_sample = args.real(a, args.value(a));
+      if (server.telemetry.trace_sample < 0.0 ||
+          server.telemetry.trace_sample > 1.0)
+        args.fail("--trace-sample must be in [0, 1]");
+    } else if (a == "--burn-budget") {
+      server.telemetry.enabled = true;
+      server.telemetry.slo_budget = args.real(a, args.value(a), true);
+    } else if (a == "--burn-threshold") {
+      server.telemetry.enabled = true;
+      server.telemetry.burn_threshold = args.real(a, args.value(a), true);
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--assert-slo") {
@@ -211,6 +237,8 @@ int main(int argc, char** argv) {
     args.fail("--cache has no effect with --synthetic (no engine to cache)");
   if (!server.admission.enabled && assert_slo)
     args.fail("--assert-slo requires admission control (drop --no-admission)");
+  if (server.telemetry.trace_sample > 0.0 && trace_path.empty())
+    args.fail("--trace-sample needs --trace (nowhere to put the spans)");
 
   try {
     const std::vector<swatop::serve::Request> trace =
@@ -252,9 +280,20 @@ int main(int argc, char** argv) {
       }
       std::printf("json:   %s\n", json_path.c_str());
     }
+    if (!timeline_path.empty()) {
+      std::ofstream os(timeline_path);
+      os << rep.timeline_jsonl();
+      if (!os.good()) {
+        std::cerr << "error: failed to write " << timeline_path << "\n";
+        return 2;
+      }
+      std::printf("timeline: %s (%zu windows)\n", timeline_path.c_str(),
+                  rep.telemetry.windows.size());
+    }
     if (rec != nullptr && !trace_path.empty()) {
       std::ofstream os(trace_path);
-      swatop::obs::write_chrome_trace(os, rec->buffer().snapshot());
+      swatop::obs::write_chrome_trace(os, rec->buffer().snapshot(),
+                                      rec->buffer().dropped());
       std::printf("trace:  %s\n", trace_path.c_str());
     }
 

@@ -18,9 +18,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "graph/build.hpp"
@@ -41,6 +43,8 @@ void usage() {
          "       swatop_report op matmul <M> <N> <K>\n"
          "       swatop_report op conv <ri> <ci> <ni> <no> <k> <batch>\n"
          "         [--top-k K]      measure the K model-ranked best\n"
+         "       swatop_report serve-timeline <timeline.jsonl>\n"
+         "         render a serve_sim --timeline file as a table\n"
          "       common options:\n"
          "         [--json]         one JSON object instead of text\n"
          "         [--journal FILE] also write the journal JSONL\n";
@@ -195,10 +199,12 @@ int report_op(int argc, char** argv, int i0) {
   if (c.json) {
     std::printf(
         "{\"op\": \"%s\", \"strategy\": \"%s\", \"cycles\": %.0f, "
-        "\"predicted_cycles\": %.0f, \"attribution\": %s, \"roofline\": %s, "
+        "\"predicted_cycles\": %.0f, \"events_dropped\": %lld, "
+        "\"attribution\": %s, \"roofline\": %s, "
         "\"journal\": %s}\n",
         op->name().c_str(), tuned.candidate.strategy.to_string().c_str(),
         r.cycles, tuned.predicted_cycles,
+        static_cast<long long>(r.profile.events_dropped),
         swatop::obs::attribution_json(attr).c_str(),
         swatop::obs::roofline_json(pts, m).c_str(),
         swatop::tune::journal_summary_json(compiled.journal()).c_str());
@@ -214,6 +220,80 @@ int report_op(int argc, char** argv, int i0) {
   }
   if (!c.journal_path.empty())
     compiled.journal().write_jsonl(c.journal_path);
+  return 0;
+}
+
+/// Numeric value of a top-level `"key":` in one JSONL line (0 when
+/// absent). The caller slices off nested arrays first so the scan cannot
+/// land on a per-net field of the same name.
+double num_field(const std::string& s, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const std::size_t pos = s.find(pat);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(s.c_str() + pos + pat.size(), nullptr);
+}
+
+/// Render a serve_sim --timeline JSONL as a table, one row per window.
+/// Deliberately a key scanner, not a JSON parser: the emitter's field
+/// order and spelling are part of its determinism contract, so scanning
+/// for `"key":` is reliable here (and keeps the tool dependency-free).
+int report_serve_timeline(int argc, char** argv, int i0) {
+  if (i0 >= argc) {
+    usage();
+    return 2;
+  }
+  std::ifstream is(argv[i0]);
+  if (!is) {
+    std::cerr << "error: cannot open " << argv[i0] << "\n";
+    return 2;
+  }
+  std::printf("== serving timeline ==\n");
+  std::printf(
+      "%6s %9s %7s %6s %4s %5s %5s %6s %5s %9s %9s  %s\n", "window", "t0[ms]",
+      "arrive", "admit", "rej", "shed", "done", "queue", "busy", "p50[ms]",
+      "p99[ms]", "alerts");
+  std::string line;
+  std::int64_t windows = 0, alerts_total = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    // Top-level fields live before the nested "nets" array.
+    const std::size_t nets = line.find(",\"nets\":");
+    const std::string head =
+        nets == std::string::npos ? line : line.substr(0, nets);
+    // Burn alerts are embedded in the window line that raised them.
+    std::string alerts;
+    const std::size_t ap = line.find("\"alerts\":[");
+    if (ap != std::string::npos) {
+      std::size_t p = ap;
+      while ((p = line.find("{\"net\":\"", p)) != std::string::npos) {
+        p += 8;
+        const std::size_t e = line.find('"', p);
+        if (e == std::string::npos) break;
+        if (!alerts.empty()) alerts += ",";
+        alerts += line.substr(p, e - p);
+        ++alerts_total;
+      }
+      if (!alerts.empty()) alerts = "! " + alerts;
+    }
+    std::printf(
+        "%6lld %9.1f %7lld %6lld %4lld %5lld %5lld %6lld %5lld %9.2f %9.2f"
+        "  %s\n",
+        static_cast<long long>(num_field(head, "window")),
+        num_field(head, "start_us") / 1e3,
+        static_cast<long long>(num_field(head, "arrivals")),
+        static_cast<long long>(num_field(head, "admitted")),
+        static_cast<long long>(num_field(head, "rejected")),
+        static_cast<long long>(num_field(head, "shed")),
+        static_cast<long long>(num_field(head, "completed")),
+        static_cast<long long>(num_field(head, "queue_images")),
+        static_cast<long long>(num_field(head, "busy_chips")),
+        num_field(head, "p50_ms"), num_field(head, "p99_ms"),
+        alerts.c_str());
+    ++windows;
+  }
+  std::printf("%lld windows, %lld burn alerts\n",
+              static_cast<long long>(windows),
+              static_cast<long long>(alerts_total));
   return 0;
 }
 
@@ -234,6 +314,7 @@ int main(int argc, char** argv) {
       return report_net(argv[2], parse_int(argv[3]), argc, argv, 4);
     }
     if (mode == "op") return report_op(argc, argv, 2);
+    if (mode == "serve-timeline") return report_serve_timeline(argc, argv, 2);
     std::cerr << "unknown mode '" << mode << "'\n";
     usage();
     return 2;
